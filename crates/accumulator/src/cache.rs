@@ -1,0 +1,152 @@
+//! A membership-witness cache with incremental updates.
+//!
+//! The paper's cloud regenerates each witness per query (`O(|X|)`
+//! exponentiations — the growth visible in Fig. 5b/5d). A production cloud
+//! can instead maintain witnesses for *every* accumulated prime:
+//!
+//! * [`WitnessCache::build`] computes all of them in `O(|X| log |X|)`
+//!   exponentiations via the root-factor tree, and
+//! * [`WitnessCache::update`] folds a batch of newly accumulated primes
+//!   into the cache without rebuilding: existing witnesses are raised to
+//!   the batch product, new primes get witnesses rooted at the previous
+//!   accumulator value.
+//!
+//! With the cache, VO generation becomes a lookup — the trade-off the
+//! `ads_ablation` benchmark quantifies.
+
+use crate::params::RsaParams;
+use crate::witness::root_factor;
+use slicer_bignum::BigUint;
+use std::collections::HashMap;
+
+/// Cached membership witnesses for a full prime list.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessCache {
+    witnesses: HashMap<BigUint, BigUint>,
+    /// How many primes of the canonical list have been incorporated.
+    covered: usize,
+}
+
+impl WitnessCache {
+    /// Builds the cache for an entire prime list.
+    pub fn build(params: &RsaParams, primes: &[BigUint]) -> Self {
+        let all = root_factor(params, params.generator(), primes);
+        WitnessCache {
+            witnesses: primes.iter().cloned().zip(all).collect(),
+            covered: primes.len(),
+        }
+    }
+
+    /// Number of cached witnesses.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// Number of primes of the canonical list incorporated so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Looks up the witness for a prime.
+    pub fn get(&self, prime: &BigUint) -> Option<&BigUint> {
+        self.witnesses.get(prime)
+    }
+
+    /// Incorporates the primes appended to `primes` since the last
+    /// build/update (`primes[..self.covered()]` must be unchanged — the
+    /// prime list is append-only in Slicer).
+    pub fn update(&mut self, params: &RsaParams, primes: &[BigUint]) {
+        let new = &primes[self.covered..];
+        if new.is_empty() {
+            return;
+        }
+        // Previous accumulator value: any cached witness raised to its own
+        // prime, or the generator for an empty cache.
+        let old_ac = match primes[..self.covered].first() {
+            Some(p) => {
+                let w = &self.witnesses[p];
+                params.powmod(w, p)
+            }
+            None => params.generator().clone(),
+        };
+        // Existing witnesses absorb the whole batch product.
+        let batch: BigUint = crate::nonmembership::product_tree(new);
+        for w in self.witnesses.values_mut() {
+            *w = params.powmod(w, &batch);
+        }
+        // New primes: witnesses rooted at the pre-batch accumulator.
+        let fresh = root_factor(params, &old_ac, new);
+        for (p, w) in new.iter().zip(fresh) {
+            self.witnesses.insert(p.clone(), w);
+        }
+        self.covered = primes.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hash_to_prime, Accumulator};
+
+    fn primes(range: std::ops::Range<u32>) -> Vec<BigUint> {
+        range.map(|i| hash_to_prime(&i.to_be_bytes(), 64)).collect()
+    }
+
+    #[test]
+    fn built_cache_verifies_everything() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(0..10);
+        let acc = Accumulator::over(&params, &ps);
+        let cache = WitnessCache::build(&params, &ps);
+        assert_eq!(cache.len(), 10);
+        for p in &ps {
+            assert!(acc.verify(p, cache.get(p).expect("cached")));
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild() {
+        let params = RsaParams::fixed_512();
+        let mut ps = primes(0..6);
+        let mut cache = WitnessCache::build(&params, &ps);
+        ps.extend(primes(6..11));
+        cache.update(&params, &ps);
+
+        let rebuilt = WitnessCache::build(&params, &ps);
+        let acc = Accumulator::over(&params, &ps);
+        for p in &ps {
+            assert_eq!(cache.get(p), rebuilt.get(p), "prime {p:?}");
+            assert!(acc.verify(p, cache.get(p).expect("cached")));
+        }
+        assert_eq!(cache.covered(), 11);
+    }
+
+    #[test]
+    fn update_from_empty_cache() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(0..5);
+        let mut cache = WitnessCache::default();
+        cache.update(&params, &ps);
+        let acc = Accumulator::over(&params, &ps);
+        for p in &ps {
+            assert!(acc.verify(p, cache.get(p).expect("cached")));
+        }
+    }
+
+    #[test]
+    fn noop_update_is_cheap_and_correct() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(0..4);
+        let mut cache = WitnessCache::build(&params, &ps);
+        let before = cache.clone();
+        cache.update(&params, &ps);
+        for p in &ps {
+            assert_eq!(cache.get(p), before.get(p));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! `H_prime`: deterministic hash-to-prime (Barić–Pfitzmann prime
+//! representatives).
+
+use slicer_bignum::BigUint;
+use slicer_crypto::sha256;
+
+/// Default prime-representative size. 128-bit primes keep accumulator
+/// exponents small (the dominant cost of `Accumulation` and `MemWit`) while
+/// retaining 64-bit collision resistance — adequate for a reproduction and
+/// mirroring the paper's compact prime list (Fig. 4b).
+pub const DEFAULT_PRIME_BITS: u32 = 128;
+
+/// Maps arbitrary bytes to a probable prime of exactly `bits` bits.
+///
+/// Deterministic hash-and-increment: the candidate starts at
+/// `SHA-256(data)` truncated/expanded to `bits` bits with the top and low
+/// bits forced to one, then walks upward by 2 until a Miller–Rabin probable
+/// prime is found. Determinism is essential — the blockchain verifier
+/// recomputes `x = H_prime(t_j‖j‖G₁‖G₂‖h)` from public values in
+/// Algorithm 5 and must land on the same prime as the data owner did in
+/// Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `bits < 16` or `bits > 512`.
+pub fn hash_to_prime(data: &[u8], bits: u32) -> BigUint {
+    hash_to_prime_counted(data, bits).0
+}
+
+/// [`hash_to_prime`] that also reports how many candidates were examined —
+/// the blockchain gas meter charges per candidate (trial division) plus the
+/// Miller–Rabin rounds on survivors.
+///
+/// # Panics
+///
+/// Panics if `bits < 16` or `bits > 512`.
+pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> (BigUint, u64) {
+    assert!((16..=512).contains(&bits), "unsupported prime size {bits}");
+    // Expand the digest to cover up to 512 bits of candidate material.
+    let d1 = sha256(data);
+    let mut wide = Vec::with_capacity(64);
+    wide.extend_from_slice(&d1);
+    let mut tagged = Vec::with_capacity(33);
+    tagged.push(0x01);
+    tagged.extend_from_slice(&d1);
+    wide.extend_from_slice(&sha256(&tagged));
+
+    let nbytes = bits.div_ceil(8) as usize;
+    let mut cand = BigUint::from_bytes_be(&wide[..nbytes]);
+    // Trim to exactly `bits` bits, force the top bit (exact width) and
+    // low bit (odd).
+    let excess = (nbytes as u32 * 8).saturating_sub(bits);
+    cand = &cand >> excess;
+    cand.set_bit(bits as u64 - 1, true);
+    cand.set_bit(0, true);
+
+    let two = BigUint::two();
+    let mut tried: u64 = 1;
+    loop {
+        if cand.is_probable_prime(8) {
+            return (cand, tried);
+        }
+        cand = &cand + &two;
+        tried += 1;
+        // Overflow past the requested width is astronomically unlikely
+        // (needs a prime gap of ~2^(bits-1)); wrap defensively anyway.
+        if cand.bit_len() > bits as u64 {
+            cand = BigUint::one() << (bits - 1);
+            cand.set_bit(0, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_prime_and_exact_width() {
+        for i in 0..20u32 {
+            let p = hash_to_prime(&i.to_be_bytes(), 128);
+            assert!(p.is_probable_prime(8));
+            assert_eq!(p.bit_len(), 128);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_to_prime(b"x", 128), hash_to_prime(b"x", 128));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_primes() {
+        assert_ne!(hash_to_prime(b"a", 128), hash_to_prime(b"b", 128));
+    }
+
+    #[test]
+    fn width_parameter_respected() {
+        for bits in [64u32, 96, 128, 256] {
+            assert_eq!(hash_to_prime(b"w", bits).bit_len(), bits as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported prime size")]
+    fn tiny_width_rejected() {
+        hash_to_prime(b"x", 8);
+    }
+}

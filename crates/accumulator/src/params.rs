@@ -1,0 +1,177 @@
+//! RSA accumulator public parameters (`Setup(1^λ)`).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use slicer_bignum::{gen_safe_prime, random_below, BigUint, MontgomeryCtx};
+
+/// Fixed 512-bit modulus: product of two 256-bit safe primes generated once
+/// for the reproduction (factors discarded). 512 bits makes each witness 64
+/// bytes, matching the ≤ 60-byte verification objects of the paper's Fig 6d.
+const N512_HEX: &str = "9d6ada17d8468909691ea6b0e283b927dd9de8ad16464e8303851d313bf138b65e455154485e4752084843cbd944e98a75cb24a5341714de7760c8bbe0079d79";
+
+/// Fixed 1024-bit modulus: product of two 512-bit safe primes.
+const N1024_HEX: &str = "bb4e6da51c76d10262e609238711c6438bbed174037683196828e14dcb8c8e408f0907b198041442cf2607c6530ba7e576a289095585c7a1e5d92c20e4a4ba86587826b1b9e64514cc991f106d8798eb2cf25864152c675f3ff130a8c20c5ea01430349e5e713cfd5fdc16656589ddd67d1dc85f84ee50ad96a5130d53ed9dd5";
+
+/// Public parameters of the RSA accumulator: a modulus `n = p·q` with `p`,
+/// `q` safe primes, and a generator `g ∈ QR_n \ {1}`.
+///
+/// The Montgomery context for `n` is precomputed once and shared by every
+/// accumulation, witness and verification operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RsaParams {
+    modulus: BigUint,
+    generator: BigUint,
+    #[serde(skip, default)]
+    ctx: Option<MontgomeryCtx>,
+}
+
+impl PartialEq for RsaParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.modulus == other.modulus && self.generator == other.generator
+    }
+}
+impl Eq for RsaParams {}
+
+impl RsaParams {
+    /// Builds parameters from a known modulus and generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even (RSA moduli are odd by construction).
+    pub fn from_parts(modulus: BigUint, generator: BigUint) -> Self {
+        let ctx = MontgomeryCtx::new(&modulus).expect("RSA modulus must be odd");
+        RsaParams {
+            modulus,
+            generator,
+            ctx: Some(ctx),
+        }
+    }
+
+    /// The baked-in 512-bit parameters used across tests and benchmarks.
+    ///
+    /// `g = 4 = 2²` is a quadratic residue for any odd modulus.
+    pub fn fixed_512() -> Self {
+        Self::from_parts(
+            BigUint::from_hex(N512_HEX).expect("valid baked-in hex"),
+            BigUint::from(4u64),
+        )
+    }
+
+    /// The baked-in 1024-bit parameters (higher security margin; 128-byte
+    /// witnesses).
+    pub fn fixed_1024() -> Self {
+        Self::from_parts(
+            BigUint::from_hex(N1024_HEX).expect("valid baked-in hex"),
+            BigUint::from(4u64),
+        )
+    }
+
+    /// Fresh trusted setup: samples two `bits/2`-bit safe primes and a
+    /// random quadratic-residue generator. The factors are dropped on
+    /// return, so nobody (including the caller) retains the trapdoor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 32`.
+    pub fn generate<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> Self {
+        assert!(bits >= 32, "modulus below 32 bits is meaningless");
+        let p = gen_safe_prime(bits / 2, rng);
+        let q = loop {
+            let q = gen_safe_prime(bits - bits / 2, rng);
+            if q != p {
+                break q;
+            }
+        };
+        let n = &p * &q;
+        // g = r^2 mod n for random r, retried until g ∉ {0, 1}.
+        let generator = loop {
+            let r = random_below(&n, rng);
+            let g = r.mulmod(&r, &n);
+            if !g.is_zero() && !g.is_one() {
+                break g;
+            }
+        };
+        Self::from_parts(n, generator)
+    }
+
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The generator `g`.
+    pub fn generator(&self) -> &BigUint {
+        &self.generator
+    }
+
+    /// Size of a serialized group element (witnesses, accumulator values).
+    pub fn element_bytes(&self) -> usize {
+        self.modulus.bit_len().div_ceil(8) as usize
+    }
+
+    /// Montgomery context for the modulus.
+    pub fn ctx(&self) -> &MontgomeryCtx {
+        // `ctx` is only `None` after deserialization; rebuild lazily is not
+        // possible through a shared reference, so deserialized params are
+        // re-validated through `restore_ctx` by callers. For ergonomic use
+        // we keep construction paths always populating it.
+        self.ctx
+            .as_ref()
+            .expect("params deserialized without calling restore_ctx")
+    }
+
+    /// Rebuilds the Montgomery context after deserialization.
+    pub fn restore_ctx(&mut self) {
+        if self.ctx.is_none() {
+            self.ctx = Some(MontgomeryCtx::new(&self.modulus).expect("odd modulus"));
+        }
+    }
+
+    /// `base^exp mod n` using the shared context.
+    pub fn powmod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.ctx().modpow(base, exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_params_shape() {
+        let p = RsaParams::fixed_512();
+        assert_eq!(p.modulus().bit_len(), 512);
+        assert_eq!(p.element_bytes(), 64);
+        assert_eq!(p.generator(), &BigUint::from(4u64));
+        assert!(p.modulus().is_odd());
+    }
+
+    #[test]
+    fn fixed_1024_shape() {
+        let p = RsaParams::fixed_1024();
+        assert_eq!(p.modulus().bit_len(), 1024);
+        assert_eq!(p.element_bytes(), 128);
+    }
+
+    #[test]
+    fn generate_small_setup() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = RsaParams::generate(128, &mut rng);
+        // Product of two 64-bit primes has 127 or 128 bits.
+        assert!((127..=128).contains(&p.modulus().bit_len()));
+        // Generator is a nontrivial residue.
+        assert!(!p.generator().is_zero());
+        assert!(!p.generator().is_one());
+        assert!(p.generator() < p.modulus());
+    }
+
+    #[test]
+    fn powmod_agrees_with_bignum() {
+        let p = RsaParams::fixed_512();
+        let b = BigUint::from(123456u64);
+        let e = BigUint::from(65537u64);
+        assert_eq!(p.powmod(&b, &e), b.modpow(&e, p.modulus()));
+    }
+}

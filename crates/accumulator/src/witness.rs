@@ -1,0 +1,191 @@
+//! Membership-witness generation strategies.
+//!
+//! A witness for `x` in set `X` is `g^{∏_{y ∈ X, y ≠ x} y} mod n`. Three
+//! strategies with different cost profiles:
+//!
+//! * [`membership_witness`] — direct per-query fold over `X \ {x}`, `O(|X|)`
+//!   short exponentiations. This is what the paper's cloud does per search
+//!   token (its VO-generation time in Fig. 5b/5d grows with the record
+//!   count for exactly this reason).
+//! * [`witness_batch`] — for an order query's `b` slices: fold the shared
+//!   complement once, then split among the `b` targets with a root-factor
+//!   tree. Turns `b` direct folds into ~1.
+//! * [`root_factor`] — Sander–Ta-Shma–style divide and conquer producing
+//!   witnesses for *every* member in `O(|X| log |X|)` exponentiations; used
+//!   by the cloud's witness cache ablation.
+
+use crate::params::RsaParams;
+use slicer_bignum::BigUint;
+
+/// Direct witness for `primes[target]`: folds every other prime into the
+/// exponent one at a time.
+///
+/// # Panics
+///
+/// Panics if `target >= primes.len()`.
+pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize) -> BigUint {
+    assert!(target < primes.len(), "target index out of range");
+    let mut w = params.generator().clone();
+    for (i, p) in primes.iter().enumerate() {
+        if i != target {
+            w = params.powmod(&w, p);
+        }
+    }
+    w
+}
+
+/// Witnesses for a subset of members sharing one complement fold.
+///
+/// `targets` are indexes into `primes` (must be distinct). Returns one
+/// witness per target, in target order.
+///
+/// # Panics
+///
+/// Panics if any target index is out of range or duplicated.
+pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) -> Vec<BigUint> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    let mut in_targets = vec![false; primes.len()];
+    for &t in targets {
+        assert!(t < primes.len(), "target index out of range");
+        assert!(!in_targets[t], "duplicate target index {t}");
+        in_targets[t] = true;
+    }
+    // Fold the complement (all primes not being proven) once.
+    let mut base = params.generator().clone();
+    for (i, p) in primes.iter().enumerate() {
+        if !in_targets[i] {
+            base = params.powmod(&base, p);
+        }
+    }
+    // Distribute the target primes over each other with a root-factor tree.
+    let target_primes: Vec<BigUint> = targets.iter().map(|&t| primes[t].clone()).collect();
+    root_factor(params, &base, &target_primes)
+}
+
+/// Computes witnesses for every element of `primes` relative to the
+/// accumulator `base^{∏ primes}`: returns `w_i = base^{∏_{j≠i} primes_j}`.
+///
+/// Divide and conquer: split the set in half, raise the base to the
+/// product of each half for the opposite side, recurse. Total work is
+/// `O(n log n)` short exponentiations instead of `O(n^2)`.
+pub fn root_factor(params: &RsaParams, base: &BigUint, primes: &[BigUint]) -> Vec<BigUint> {
+    match primes.len() {
+        0 => Vec::new(),
+        1 => vec![base.clone()],
+        _ => {
+            let mid = primes.len() / 2;
+            let (left, right) = primes.split_at(mid);
+            let mut base_right = base.clone();
+            for p in left {
+                base_right = params.powmod(&base_right, p);
+            }
+            let mut base_left = base.clone();
+            for p in right {
+                base_left = params.powmod(&base_left, p);
+            }
+            let mut out = root_factor(params, &base_left, left);
+            out.extend(root_factor(params, &base_right, right));
+            out
+        }
+    }
+}
+
+/// Verifies `witness^x ≡ ac (mod n)` — the smart contract's `VerifyMem`.
+pub fn verify_membership(
+    params: &RsaParams,
+    prime: &BigUint,
+    witness: &BigUint,
+    ac: &BigUint,
+) -> bool {
+    &params.powmod(witness, prime) == ac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hash_to_prime, Accumulator};
+
+    fn primes(n: u32) -> Vec<BigUint> {
+        (0..n).map(|i| hash_to_prime(&i.to_be_bytes(), 64)).collect()
+    }
+
+    #[test]
+    fn direct_witness_verifies() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(8);
+        let acc = Accumulator::over(&params, &ps);
+        for t in 0..ps.len() {
+            let w = membership_witness(&params, &ps, t);
+            assert!(acc.verify(&ps[t], &w), "witness {t}");
+        }
+    }
+
+    #[test]
+    fn witness_for_wrong_element_fails() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(5);
+        let acc = Accumulator::over(&params, &ps);
+        let w = membership_witness(&params, &ps, 0);
+        assert!(!acc.verify(&ps[1], &w));
+    }
+
+    #[test]
+    fn non_member_cannot_be_proven() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(5);
+        let acc = Accumulator::over(&params, &ps);
+        let outsider = hash_to_prime(b"not a member", 64);
+        for t in 0..ps.len() {
+            let w = membership_witness(&params, &ps, t);
+            assert!(!acc.verify(&outsider, &w));
+        }
+    }
+
+    #[test]
+    fn batch_matches_direct() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(10);
+        let targets = [1usize, 4, 7, 9];
+        let batch = witness_batch(&params, &ps, &targets);
+        for (w, &t) in batch.iter().zip(&targets) {
+            assert_eq!(w, &membership_witness(&params, &ps, t), "target {t}");
+        }
+    }
+
+    #[test]
+    fn batch_empty_targets() {
+        let params = RsaParams::fixed_512();
+        assert!(witness_batch(&params, &primes(3), &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn batch_rejects_duplicates() {
+        let params = RsaParams::fixed_512();
+        witness_batch(&params, &primes(3), &[1, 1]);
+    }
+
+    #[test]
+    fn root_factor_yields_all_witnesses() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(9);
+        let acc = Accumulator::over(&params, &ps);
+        let all = root_factor(&params, params.generator(), &ps);
+        assert_eq!(all.len(), ps.len());
+        for (w, p) in all.iter().zip(&ps) {
+            assert!(acc.verify(p, w));
+        }
+    }
+
+    #[test]
+    fn single_member_witness_is_generator() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(1);
+        let w = membership_witness(&params, &ps, 0);
+        assert_eq!(&w, params.generator());
+        let acc = Accumulator::over(&params, &ps);
+        assert!(acc.verify(&ps[0], &w));
+    }
+}

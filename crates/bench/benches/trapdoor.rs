@@ -1,0 +1,40 @@
+//! Ablation: forward-security cost — trapdoor chain walks as the update
+//! count `j` grows (the cloud pays one public-permutation application per
+//! generation during search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicer_crypto::HmacDrbg;
+use slicer_trapdoor::TrapdoorKeyPair;
+
+fn bench_trapdoor(c: &mut Criterion) {
+    let kp = TrapdoorKeyPair::fixed_test();
+    let mut rng = HmacDrbg::from_u64(1);
+    let t0 = kp.public().random_trapdoor(&mut rng);
+
+    let mut group = c.benchmark_group("trapdoor");
+    group.bench_function("owner_invert", |b| {
+        b.iter(|| kp.invert(&t0));
+    });
+    group.bench_function("cloud_forward", |b| {
+        b.iter(|| kp.public().forward(&t0));
+    });
+    for j in [1u64, 8, 64] {
+        let tj = kp.walk_back(&t0, j);
+        group.bench_with_input(BenchmarkId::new("cloud_walk", j), &j, |b, &j| {
+            b.iter(|| kp.public().walk_forward(&tj, j));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` tractable while still
+    // averaging enough iterations for stable relative comparisons.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_trapdoor
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Result tables: pretty printing and CSV export.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A labelled result table for one experiment (one paper figure/table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"fig3a"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Writes the table as CSV into `dir/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} — {} ===", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, "| {c:>w$} ")?;
+            }
+            writeln!(f, "|")
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("fig0", "demo", &["n", "time"]);
+        t.push_row(vec!["10".into(), "0.5".into()]);
+        t.push_row(vec!["10000".into(), "12.25".into()]);
+        let s = t.to_string();
+        assert!(s.contains("fig0"));
+        assert!(s.contains("| 10000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("slicer-bench-test");
+        let mut t = Table::new("fig_test", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig_test.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

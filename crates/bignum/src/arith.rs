@@ -1,0 +1,310 @@
+//! Addition, subtraction and multiplication (schoolbook + Karatsuba).
+
+// Carry-propagation loops walk parallel limb arrays by index on purpose;
+// iterator zips obscure the carry dataflow here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::uint::BigUint;
+use crate::{DoubleLimb, Limb};
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Limb count above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+pub(crate) fn add_limbs(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: DoubleLimb = 0;
+    for i in 0..long.len() {
+        let s = long[i] as DoubleLimb + *short.get(i).unwrap_or(&0) as DoubleLimb + carry;
+        out.push(s as Limb);
+        carry = s >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as Limb);
+    }
+    out
+}
+
+/// Computes `a - b`, panicking on underflow (callers check order first).
+pub(crate) fn sub_limbs(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    debug_assert!(a.len() >= b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: DoubleLimb = 0;
+    for i in 0..a.len() {
+        let rhs = *b.get(i).unwrap_or(&0) as DoubleLimb + borrow;
+        let lhs = a[i] as DoubleLimb;
+        if lhs >= rhs {
+            out.push((lhs - rhs) as Limb);
+            borrow = 0;
+        } else {
+            out.push((lhs + (1u128 << 64) - rhs) as Limb);
+            borrow = 1;
+        }
+    }
+    assert_eq!(borrow, 0, "subtraction underflow");
+    out
+}
+
+fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: DoubleLimb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let s = out[i + j] as DoubleLimb + ai as DoubleLimb * bj as DoubleLimb + carry;
+            out[i + j] = s as Limb;
+            carry = s >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let s = out[k] as DoubleLimb + carry;
+            out[k] = s as Limb;
+            carry = s >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(half.min(a.len()));
+    let (b0, b1) = b.split_at(half.min(b.len()));
+
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+    let a01 = add_limbs(a0, a1);
+    let b01 = add_limbs(b0, b1);
+    let mut z1 = mul_karatsuba(&a01, &b01);
+    z1 = sub_trim(z1, &z0);
+    z1 = sub_trim(z1, &z2);
+
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &z1, half);
+    add_into(&mut out, &z2, 2 * half);
+    out
+}
+
+/// `acc -= x` treating both as little-endian with `acc >= x`; trims nothing.
+fn sub_trim(mut acc: Vec<Limb>, x: &[Limb]) -> Vec<Limb> {
+    let mut borrow: DoubleLimb = 0;
+    for i in 0..acc.len() {
+        let rhs = *x.get(i).unwrap_or(&0) as DoubleLimb + borrow;
+        let lhs = acc[i] as DoubleLimb;
+        if lhs >= rhs {
+            acc[i] = (lhs - rhs) as Limb;
+            borrow = 0;
+        } else {
+            acc[i] = (lhs + (1u128 << 64) - rhs) as Limb;
+            borrow = 1;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    acc
+}
+
+/// `out[offset..] += x`, carrying within `out` (must not overflow `out`).
+fn add_into(out: &mut [Limb], x: &[Limb], offset: usize) {
+    let mut carry: DoubleLimb = 0;
+    let mut i = 0;
+    while i < x.len() || carry != 0 {
+        let idx = offset + i;
+        if idx >= out.len() {
+            debug_assert_eq!(carry, 0);
+            debug_assert!(x[i..].iter().all(|&l| l == 0));
+            break;
+        }
+        let s = out[idx] as DoubleLimb + *x.get(i).unwrap_or(&0) as DoubleLimb + carry;
+        out[idx] = s as Limb;
+        carry = s >> 64;
+        i += 1;
+    }
+}
+
+pub(crate) fn mul_limbs(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.len() >= KARATSUBA_THRESHOLD && b.len() >= KARATSUBA_THRESHOLD {
+        mul_karatsuba(a, b)
+    } else {
+        mul_schoolbook(a, b)
+    }
+}
+
+impl BigUint {
+    /// Checked subtraction: `self - rhs`, or `None` on underflow.
+    ///
+    /// ```
+    /// use slicer_bignum::BigUint;
+    /// let a = BigUint::from(5u64);
+    /// let b = BigUint::from(7u64);
+    /// assert!(a.checked_sub(&b).is_none());
+    /// assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u64)));
+    /// ```
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            None
+        } else {
+            Some(BigUint::from_limbs(sub_limbs(&self.limbs, &rhs.limbs)))
+        }
+    }
+
+    /// `self * self`.
+    pub fn square(&self) -> BigUint {
+        BigUint::from_limbs(mul_limbs(&self.limbs, &self.limbs))
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(add_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`BigUint::checked_sub`] to handle
+    /// underflow gracefully.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        BigUint::from_limbs(mul_limbs(&self.limbs, &[rhs]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = big(u64::MAX as u128);
+        let b = big(1);
+        assert_eq!(&a + &b, big(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = big(1u128 << 64);
+        let b = big(1);
+        assert_eq!(&a - &b, big(u64::MAX as u128));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(1) - &big(2);
+    }
+
+    #[test]
+    fn mul_zero_and_one() {
+        let a = big(12345);
+        assert_eq!(&a * &BigUint::zero(), BigUint::zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands large enough to trip the Karatsuba path.
+        let a_limbs: Vec<u64> = (0..80u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let b_limbs: Vec<u64> = (0..77u64).map(|i| i.wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0xFF).collect();
+        let k = mul_karatsuba(&a_limbs, &b_limbs);
+        let s = mul_schoolbook(&a_limbs, &b_limbs);
+        assert_eq!(BigUint::from_limbs(k), BigUint::from_limbs(s));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let r = &big(a as u128) + &big(b as u128);
+            prop_assert_eq!(r.to_u128().unwrap(), a as u128 + b as u128);
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let r = &big(a as u128) * &big(b as u128);
+            prop_assert_eq!(r.to_u128().unwrap(), a as u128 * b as u128);
+        }
+
+        #[test]
+        fn add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let s = &big(a) + &big(b);
+            prop_assert_eq!(&s - &big(b), big(a));
+            prop_assert_eq!(&s - &big(a), big(b));
+        }
+
+        #[test]
+        fn mul_commutes(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(&big(a) * &big(b), &big(b) * &big(a));
+        }
+
+        #[test]
+        fn distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let lhs = &big(a as u128) * &(&big(b as u128) + &big(c as u128));
+            let rhs = &(&big(a as u128) * &big(b as u128)) + &(&big(a as u128) * &big(c as u128));
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Bit-level operations: shifts, bit tests and bitwise operators.
+
+use crate::uint::BigUint;
+use crate::{Limb, LIMB_BITS};
+use std::ops::{BitAnd, BitOr, BitXor, Shl, Shr};
+
+impl BigUint {
+    /// Tests bit `i` (bit 0 is the least significant).
+    ///
+    /// ```
+    /// use slicer_bignum::BigUint;
+    /// let v = BigUint::from(0b1010u64);
+    /// assert!(v.bit(1) && v.bit(3));
+    /// assert!(!v.bit(0) && !v.bit(1000));
+    /// ```
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> (i % LIMB_BITS as u64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Sets bit `i` to `value`.
+    pub fn set_bit(&mut self, i: u64, value: bool) {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let mask = 1 << (i % LIMB_BITS as u64);
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if let Some(l) = self.limbs.get_mut(limb) {
+            *l &= !mask;
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.limbs.iter().map(|l| l.count_ones() as u64).sum()
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: u32) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        let bit_shift = shift % LIMB_BITS;
+        let mut out = vec![0 as Limb; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<u32> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: u32) -> BigUint {
+        &self << shift
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: u32) -> BigUint {
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = shift % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: u32) -> BigUint {
+        &self >> shift
+    }
+}
+
+macro_rules! bitwise_op {
+    ($trait:ident, $method:ident, $op:tt, $len:ident) => {
+        impl $trait for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                let len = self.limbs.len().$len(rhs.limbs.len());
+                let mut out = Vec::with_capacity(len);
+                for i in 0..len {
+                    let a = self.limbs.get(i).copied().unwrap_or(0);
+                    let b = rhs.limbs.get(i).copied().unwrap_or(0);
+                    out.push(a $op b);
+                }
+                BigUint::from_limbs(out)
+            }
+        }
+
+        impl $trait for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+bitwise_op!(BitAnd, bitand, &, min);
+bitwise_op!(BitOr, bitor, |, max);
+bitwise_op!(BitXor, bitxor, ^, max);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn shift_left_across_limb_boundary() {
+        assert_eq!(&big(1) << 64, big(1u128 << 64));
+        assert_eq!(&big(3) << 63, big(3u128 << 63));
+    }
+
+    #[test]
+    fn shift_right_to_zero() {
+        assert_eq!(&big(u128::MAX) >> 200, BigUint::zero());
+    }
+
+    #[test]
+    fn set_and_clear_bits() {
+        let mut v = BigUint::zero();
+        v.set_bit(100, true);
+        assert!(v.bit(100));
+        assert_eq!(v.bit_len(), 101);
+        v.set_bit(100, false);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_and_popcount() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(big(1u128 << 100).trailing_zeros(), Some(100));
+        assert_eq!(big(0b1011).count_ones(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn shl_shr_roundtrip(v in any::<u128>(), s in 0u32..200) {
+            let shifted = &big(v) << s;
+            prop_assert_eq!(&shifted >> s, big(v));
+        }
+
+        #[test]
+        fn bitwise_match_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!((&big(a) & &big(b)).to_u128().unwrap(), a & b);
+            prop_assert_eq!((&big(a) | &big(b)).to_u128().unwrap(), a | b);
+            prop_assert_eq!((&big(a) ^ &big(b)).to_u128().unwrap(), a ^ b);
+        }
+
+        #[test]
+        fn shl_is_mul_by_power_of_two(v in any::<u64>(), s in 0u32..64) {
+            let lhs = &big(v as u128) << s;
+            let rhs = &big(v as u128) * &big(1u128 << s);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

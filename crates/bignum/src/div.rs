@@ -1,0 +1,229 @@
+//! Division and remainder: Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+
+use crate::uint::BigUint;
+use crate::{DoubleLimb, Limb, LIMB_BITS};
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Computes `(self / divisor, self % divisor)` in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use slicer_bignum::BigUint;
+    /// let (q, r) = BigUint::from(1000u64).div_rem(&BigUint::from(7u64));
+    /// assert_eq!(q, BigUint::from(142u64));
+    /// assert_eq!(r, BigUint::from(6u64));
+    /// ```
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        knuth_d(self, divisor)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_limb(&self, divisor: Limb) -> (BigUint, Limb) {
+        assert_ne!(divisor, 0, "division by zero");
+        let mut q = vec![0 as Limb; self.limbs.len()];
+        let mut rem: DoubleLimb = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as DoubleLimb;
+            q[i] = (cur / divisor as DoubleLimb) as Limb;
+            rem = cur % divisor as DoubleLimb;
+        }
+        (BigUint::from_limbs(q), rem as Limb)
+    }
+}
+
+/// Knuth Algorithm D for multi-limb divisors (len >= 2).
+fn knuth_d(u_in: &BigUint, v_in: &BigUint) -> (BigUint, BigUint) {
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v_in.limbs.last().unwrap().leading_zeros();
+    let v = v_in << shift;
+    let mut u = (u_in << shift).limbs;
+    let n = v.limbs.len();
+    let m = u.len() - n;
+    u.push(0); // u now has m + n + 1 limbs
+    let v = &v.limbs;
+
+    let v_hi = v[n - 1] as DoubleLimb;
+    let v_next = v[n - 2] as DoubleLimb;
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two limbs of the running remainder.
+        let numer = ((u[j + n] as DoubleLimb) << 64) | u[j + n - 1] as DoubleLimb;
+        let mut qhat = numer / v_hi;
+        let mut rhat = numer % v_hi;
+        while qhat >> 64 != 0
+            || qhat * v_next > ((rhat << 64) | u[j + n - 2] as DoubleLimb)
+        {
+            qhat -= 1;
+            rhat += v_hi;
+            if rhat >> 64 != 0 {
+                break; // rhat no longer fits a limb; qhat is now close enough
+            }
+        }
+
+        // D4: multiply and subtract qhat * v from u[j .. j+n].
+        let mut mul_carry: DoubleLimb = 0;
+        let mut borrow: DoubleLimb = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as DoubleLimb + mul_carry;
+            mul_carry = p >> 64;
+            let sub = (p as Limb) as DoubleLimb + borrow;
+            let cur = u[j + i] as DoubleLimb;
+            if cur >= sub {
+                u[j + i] = (cur - sub) as Limb;
+                borrow = 0;
+            } else {
+                u[j + i] = (cur + (1u128 << 64) - sub) as Limb;
+                borrow = 1;
+            }
+        }
+        let sub = mul_carry + borrow;
+        let cur = u[j + n] as DoubleLimb;
+        let went_negative = cur < sub;
+        u[j + n] = cur.wrapping_sub(sub) as Limb;
+
+        // D5/D6: if the subtraction underflowed, decrement qhat and add back.
+        if went_negative {
+            qhat -= 1;
+            let mut carry: DoubleLimb = 0;
+            for i in 0..n {
+                let s = u[j + i] as DoubleLimb + v[i] as DoubleLimb + carry;
+                u[j + i] = s as Limb;
+                carry = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as Limb);
+        }
+        q[j] = qhat as Limb;
+    }
+
+    // D8: denormalize the remainder.
+    u.truncate(n);
+    let rem = BigUint::from_limbs(u) >> shift;
+    (BigUint::from_limbs(q), rem)
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: BigUint) -> BigUint {
+        &self / &rhs
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: BigUint) -> BigUint {
+        &self % &rhs
+    }
+}
+
+#[allow(dead_code)]
+const _: () = assert!(LIMB_BITS == 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn small_divisor_fast_path() {
+        let v: BigUint = "123456789123456789123456789123456789".parse().unwrap();
+        let (q, r) = v.div_rem_limb(97);
+        assert_eq!(&(&q * 97u64) + &BigUint::from(r), v);
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = big(5).div_rem(&big(1u128 << 100));
+        assert_eq!(q, BigUint::zero());
+        assert_eq!(r, big(5));
+    }
+
+    #[test]
+    fn exact_division() {
+        let a: BigUint = "10000000000000000000000000000000000000000".parse().unwrap();
+        let b: BigUint = "100000000000000000000".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn add_back_case() {
+        // Constructed so qhat overestimates and the D6 add-back path runs:
+        // u = (2^128 - 1) * 2^64, v = 2^128 - 2^64 - 1 exercises the edge.
+        let u = BigUint::from_limbs(vec![0, u64::MAX, u64::MAX - 1]);
+        let v = BigUint::from_limbs(vec![u64::MAX, u64::MAX - 1]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q.to_u128().unwrap(), a / b);
+            prop_assert_eq!(r.to_u128().unwrap(), a % b);
+        }
+
+        #[test]
+        fn euclidean_identity(
+            a_limbs in proptest::collection::vec(any::<u64>(), 0..8),
+            b_limbs in proptest::collection::vec(any::<u64>(), 1..5),
+        ) {
+            let a = BigUint::from_limbs(a_limbs);
+            let b = BigUint::from_limbs(b_limbs);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `Display`, `Debug` and radix formatting.
+
+use crate::uint::BigUint;
+use std::fmt;
+
+/// Largest power of ten fitting a limb: 10^19.
+const DECIMAL_CHUNK: u64 = 10_000_000_000_000_000_000;
+const DECIMAL_CHUNK_DIGITS: usize = 19;
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(DECIMAL_CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:0width$}", width = DECIMAL_CHUNK_DIGITS));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal for small values, hex for large ones (readability in tests).
+        if self.bit_len() <= 128 {
+            write!(f, "BigUint({self})")
+        } else {
+            write!(f, "BigUint(0x{self:x})")
+        }
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:X}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016X}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = format!("{:b}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:064b}"));
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_and_small() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from(42u64).to_string(), "42");
+    }
+
+    #[test]
+    fn display_multi_chunk_pads_internal_zeros() {
+        // 10^19 + 5 must not print as "15".
+        let v: BigUint = "10000000000000000005".parse().unwrap();
+        assert_eq!(v.to_string(), "10000000000000000005");
+    }
+
+    #[test]
+    fn hex_formats() {
+        let v = BigUint::from(0xdeadbeefu64);
+        assert_eq!(format!("{v:x}"), "deadbeef");
+        assert_eq!(format!("{v:X}"), "DEADBEEF");
+        assert_eq!(format!("{v:#x}"), "0xdeadbeef");
+    }
+
+    #[test]
+    fn hex_pads_internal_limbs() {
+        let v = BigUint::from_limbs(vec![1, 1]); // 2^64 + 1
+        assert_eq!(format!("{v:x}"), "10000000000000001");
+    }
+
+    #[test]
+    fn binary_format() {
+        assert_eq!(format!("{:b}", BigUint::from(5u64)), "101");
+    }
+
+    #[test]
+    fn debug_nonempty_for_zero() {
+        assert_eq!(format!("{:?}", BigUint::zero()), "BigUint(0)");
+    }
+}

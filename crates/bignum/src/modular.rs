@@ -1,0 +1,146 @@
+//! Modulus-generic modular arithmetic entry points.
+
+use crate::montgomery::MontgomeryCtx;
+use crate::uint::BigUint;
+
+impl BigUint {
+    /// Modular addition `(self + rhs) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn addmod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(&(self % m) + &(rhs % m)) % m
+    }
+
+    /// Modular multiplication `(self * rhs) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mulmod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self * rhs) % m
+    }
+
+    /// Modular subtraction `(self - rhs) mod m` (wrapping into the field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn submod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = rhs % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication when `m` is odd (the common case for
+    /// RSA moduli and prime fields) and falls back to binary
+    /// square-and-multiply with full reductions otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use slicer_bignum::BigUint;
+    /// let r = BigUint::from(3u64).modpow(&BigUint::from(4u64), &BigUint::from(10u64));
+    /// assert_eq!(r, BigUint::from(1u64)); // 81 mod 10
+    /// ```
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if let Some(ctx) = MontgomeryCtx::new(m) {
+            return ctx.modpow(self, exp);
+        }
+        // Even modulus: plain square-and-multiply.
+        let mut base = self % m;
+        let mut acc = BigUint::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                acc = acc.mulmod(&base, m);
+            }
+            base = &base.square() % m;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        // 3^5 mod 16 = 243 mod 16 = 3
+        assert_eq!(big(3).modpow(&big(5), &big(16)), big(3));
+    }
+
+    #[test]
+    fn modpow_modulus_one() {
+        assert_eq!(big(5).modpow(&big(5), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn submod_wraps() {
+        assert_eq!(big(2).submod(&big(5), &big(7)), big(4));
+        assert_eq!(big(5).submod(&big(2), &big(7)), big(3));
+    }
+
+    #[test]
+    fn rsa_style_roundtrip() {
+        // Tiny RSA: n = 3233 = 61*53, e = 17, d = 413.
+        let n = big(3233);
+        let msg = big(65);
+        let ct = msg.modpow(&big(17), &n);
+        assert_eq!(ct, big(2790));
+        assert_eq!(ct.modpow(&big(413), &n), msg);
+    }
+
+    fn naive_modpow(mut b: u128, mut e: u128, m: u128) -> u128 {
+        let mut acc: u128 = 1 % m;
+        b %= m;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % m;
+            }
+            b = b * b % m;
+            e >>= 1;
+        }
+        acc
+    }
+
+    proptest! {
+        #[test]
+        fn modpow_matches_naive_any_modulus(
+            base in any::<u32>(),
+            exp in any::<u16>(),
+            m in 2u64..=u32::MAX as u64,
+        ) {
+            let got = big(base as u128).modpow(&big(exp as u128), &big(m as u128));
+            let want = naive_modpow(base as u128, exp as u128, m as u128);
+            prop_assert_eq!(got, big(want));
+        }
+
+        #[test]
+        fn addmod_submod_inverse(a in any::<u64>(), b in any::<u64>(), m in 2u64..=u64::MAX) {
+            let am = big(a as u128);
+            let bm = big(b as u128);
+            let mm = big(m as u128);
+            let s = am.addmod(&bm, &mm);
+            prop_assert_eq!(s.submod(&bm, &mm), &am % &mm);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! The RSA accumulator and trapdoor permutation perform millions of modular
+//! multiplications against a fixed modulus; [`MontgomeryCtx`] amortizes the
+//! per-multiplication reduction cost using the CIOS (coarsely integrated
+//! operand scanning) algorithm.
+
+// CIOS walks parallel limb arrays by index on purpose (carry dataflow), and
+// `from_mont` converts a representation rather than constructing from one.
+#![allow(clippy::needless_range_loop, clippy::wrong_self_convention)]
+
+use crate::uint::BigUint;
+use crate::{DoubleLimb, Limb};
+
+/// Precomputed context for modular arithmetic modulo a fixed odd modulus.
+///
+/// # Examples
+///
+/// ```
+/// use slicer_bignum::{BigUint, MontgomeryCtx};
+///
+/// let n = BigUint::from(1000003u64); // odd modulus
+/// let ctx = MontgomeryCtx::new(&n).unwrap();
+/// let r = ctx.modpow(&BigUint::from(2u64), &BigUint::from(100u64));
+/// assert_eq!(r, BigUint::from(2u64).modpow(&BigUint::from(100u64), &n));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    n: Vec<Limb>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: Limb,
+    /// `R^2 mod n` where `R = 2^(64 * len)`.
+    rr: Vec<Limb>,
+    /// `R mod n` (Montgomery form of one).
+    r1: Vec<Limb>,
+    modulus: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `modulus`. Returns `None` when the modulus is
+    /// even or < 2 (Montgomery reduction requires an odd modulus).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let n = modulus.limbs.clone();
+        let len = n.len();
+
+        // Newton iteration for the inverse of n[0] modulo 2^64.
+        let mut inv: Limb = n[0];
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n[0].wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R mod n and R^2 mod n via shifting.
+        let r = &(&BigUint::one() << (64 * len as u32)) % modulus;
+        let rr = &(&r * &r) % modulus;
+
+        Some(MontgomeryCtx {
+            n,
+            n0_inv,
+            rr: pad(&rr.limbs, len),
+            r1: pad(&r.limbs, len),
+            modulus: modulus.clone(),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^-1 mod n` where
+    /// inputs and output are `len`-limb padded vectors.
+    fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+        let len = self.n.len();
+        let mut t = vec![0 as Limb; len + 2];
+        for i in 0..len {
+            // t += a[i] * b
+            let mut carry: DoubleLimb = 0;
+            for j in 0..len {
+                let s = t[j] as DoubleLimb + a[i] as DoubleLimb * b[j] as DoubleLimb + carry;
+                t[j] = s as Limb;
+                carry = s >> 64;
+            }
+            let s = t[len] as DoubleLimb + carry;
+            t[len] = s as Limb;
+            t[len + 1] = t[len + 1].wrapping_add((s >> 64) as Limb);
+
+            // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: DoubleLimb =
+                (t[0] as DoubleLimb + m as DoubleLimb * self.n[0] as DoubleLimb) >> 64;
+            for j in 1..len {
+                let s = t[j] as DoubleLimb + m as DoubleLimb * self.n[j] as DoubleLimb + carry;
+                t[j - 1] = s as Limb;
+                carry = s >> 64;
+            }
+            let s = t[len] as DoubleLimb + carry;
+            t[len - 1] = s as Limb;
+            let s2 = t[len + 1] as DoubleLimb + (s >> 64);
+            t[len] = s2 as Limb;
+            t[len + 1] = (s2 >> 64) as Limb;
+        }
+        // Conditional final subtraction: t may be in [0, 2n).
+        t.truncate(len + 1);
+        if t[len] != 0 || ge(&t[..len], &self.n) {
+            let mut borrow: DoubleLimb = 0;
+            for j in 0..len {
+                let rhs = self.n[j] as DoubleLimb + borrow;
+                let lhs = t[j] as DoubleLimb;
+                if lhs >= rhs {
+                    t[j] = (lhs - rhs) as Limb;
+                    borrow = 0;
+                } else {
+                    t[j] = (lhs + (1u128 << 64) - rhs) as Limb;
+                    borrow = 1;
+                }
+            }
+            debug_assert_eq!(t[len] as DoubleLimb, borrow);
+        }
+        t.truncate(len);
+        t
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, v: &BigUint) -> Vec<Limb> {
+        let reduced = v % &self.modulus;
+        self.mont_mul(&pad(&reduced.limbs, self.n.len()), &self.rr)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, v: &[Limb]) -> BigUint {
+        let one = pad(&[1], self.n.len());
+        BigUint::from_limbs(self.mont_mul(v, &one))
+    }
+
+    /// Modular multiplication `a * b mod n`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a 4-bit window.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return if self.modulus.is_one() {
+                BigUint::zero()
+            } else {
+                BigUint::one()
+            };
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0 .. base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Vec<Limb> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        // Process the exponent in 4-bit windows, most significant first.
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        let nwindows = bits.div_ceil(4);
+        for w in (0..nwindows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit: usize = 0;
+            for b in (0..4).rev() {
+                let idx = w * 4 + b;
+                digit <<= 1;
+                if idx < bits && exp.bit(idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // squarings already applied; nothing to multiply
+            } else {
+                // leading zero window, skip
+            }
+        }
+        if !started {
+            // exponent was zero (handled above), defensive fallback
+            return BigUint::one();
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn pad(limbs: &[Limb], len: usize) -> Vec<Limb> {
+    let mut v = limbs.to_vec();
+    v.resize(len.max(limbs.len()), 0);
+    v
+}
+
+fn ge(a: &[Limb], b: &[Limb]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(MontgomeryCtx::new(&BigUint::from(10u64)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n: BigUint = "170141183460469231731687303715884105727".parse().unwrap(); // 2^127-1
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let a: BigUint = "123456789012345678901234567890".parse().unwrap();
+        let b: BigUint = "987654321098765432109876543210".parse().unwrap();
+        assert_eq!(ctx.mul(&a, &b), &(&a * &b) % &n);
+    }
+
+    #[test]
+    fn modpow_fermat_little() {
+        // a^(p-1) = 1 mod p for prime p.
+        let p: BigUint = "170141183460469231731687303715884105727".parse().unwrap();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let a = BigUint::from(123456789u64);
+        let exp = &p - &BigUint::one();
+        assert_eq!(ctx.modpow(&a, &exp), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_zero_exponent() {
+        let ctx = MontgomeryCtx::new(&BigUint::from(97u64)).unwrap();
+        assert_eq!(
+            ctx.modpow(&BigUint::from(5u64), &BigUint::zero()),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn modpow_base_larger_than_modulus() {
+        let n = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = BigUint::from(1000u64);
+        let exp = BigUint::from(13u64);
+        let expected = naive_modpow(1000, 13, 97);
+        assert_eq!(ctx.modpow(&base, &exp), BigUint::from(expected));
+    }
+
+    fn naive_modpow(mut b: u128, mut e: u128, m: u128) -> u64 {
+        let mut acc: u128 = 1;
+        b %= m;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % m;
+            }
+            b = b * b % m;
+            e >>= 1;
+        }
+        acc as u64
+    }
+
+    proptest! {
+        #[test]
+        fn modpow_matches_naive_u64(
+            base in any::<u32>(),
+            exp in any::<u16>(),
+            m_half in 1u32..=u32::MAX,
+        ) {
+            let m = (m_half as u64) * 2 + 1; // odd
+            if m > 1 {
+                let ctx = MontgomeryCtx::new(&BigUint::from(m)).unwrap();
+                let got = ctx.modpow(&BigUint::from(base as u64), &BigUint::from(exp as u64));
+                let want = naive_modpow(base as u128, exp as u128, m as u128);
+                prop_assert_eq!(got, BigUint::from(want));
+            }
+        }
+
+        #[test]
+        fn mul_matches_naive_random(
+            a in any::<u128>(),
+            b in any::<u128>(),
+            m_half in 1u64..=u64::MAX,
+        ) {
+            let m = BigUint::from((m_half as u128) * 2 + 1);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            let ab = &BigUint::from(a) * &BigUint::from(b);
+            prop_assert_eq!(ctx.mul(&BigUint::from(a), &BigUint::from(b)), &ab % &m);
+        }
+    }
+}

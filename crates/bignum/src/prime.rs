@@ -1,0 +1,275 @@
+//! Primality testing (Miller–Rabin) and prime generation.
+
+use crate::montgomery::MontgomeryCtx;
+use crate::random::random_odd_bits;
+use crate::uint::BigUint;
+use rand::RngCore;
+
+/// The odd primes below 1000, used for trial-division pre-filtering.
+pub const SMALL_PRIMES: &[u64] = &[
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421,
+    431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541, 547,
+    557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659,
+    661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797,
+    809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919, 929,
+    937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+/// Deterministic Miller–Rabin bases proving primality for all n < 3.3e24.
+const DETERMINISTIC_BASES: &[u64] = &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+impl BigUint {
+    /// Miller–Rabin probabilistic primality test.
+    ///
+    /// Always runs the 12 deterministic small bases (which decide primality
+    /// exactly for `n < 3.3 * 10^24`) plus `extra_rounds` additional bases
+    /// derived deterministically from the candidate, giving a soundness error
+    /// below `4^-(12 + extra_rounds)` for larger inputs. The derived bases
+    /// make the test reproducible — important for `H_prime`, whose output
+    /// must be recomputable by the blockchain verifier.
+    pub fn is_probable_prime(&self, extra_rounds: u32) -> bool {
+        // Small and even cases.
+        if let Some(v) = self.to_u64() {
+            if v < 2 {
+                return false;
+            }
+            if v == 2 {
+                return true;
+            }
+        }
+        if self.is_even() {
+            return false;
+        }
+        for &p in SMALL_PRIMES {
+            let pb = BigUint::from(p);
+            if *self == pb {
+                return true;
+            }
+            let (_, r) = self.div_rem_limb(p);
+            if r == 0 {
+                return false;
+            }
+        }
+
+        // Write n - 1 = d * 2^s with d odd.
+        let n_minus_1 = self - &BigUint::one();
+        let s = n_minus_1.trailing_zeros().expect("n > 1 so n-1 > 0");
+        let d = &n_minus_1 >> s as u32;
+        let ctx = MontgomeryCtx::new(self).expect("odd modulus");
+
+        let witness_passes = |a: &BigUint| -> bool {
+            let mut x = ctx.modpow(a, &d);
+            if x.is_one() || x == n_minus_1 {
+                return true;
+            }
+            for _ in 1..s {
+                x = ctx.mul(&x, &x);
+                if x == n_minus_1 {
+                    return true;
+                }
+                if x.is_one() {
+                    return false;
+                }
+            }
+            false
+        };
+
+        for &b in DETERMINISTIC_BASES {
+            let a = BigUint::from(b);
+            if &a % self >= BigUint::two() && !witness_passes(&a) {
+                return false;
+            }
+        }
+
+        // Extra rounds with bases derived from the candidate via SplitMix64
+        // over its limbs (deterministic, so H_prime is verifier-recomputable).
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &l in self.limbs() {
+            seed = splitmix64(seed ^ l);
+        }
+        for _ in 0..extra_rounds {
+            seed = splitmix64(seed);
+            // Base in [2, n-2]: fold a few words and reduce.
+            let mut words = Vec::with_capacity(4);
+            let mut s2 = seed;
+            for _ in 0..self.limbs().len().min(4) {
+                s2 = splitmix64(s2);
+                words.push(s2);
+            }
+            let mut a = &BigUint::from_limbs(words) % &n_minus_1;
+            if a < BigUint::two() {
+                a = BigUint::two();
+            }
+            if !witness_passes(&a) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    loop {
+        let cand = random_odd_bits(bits, rng);
+        if cand.is_probable_prime(8) {
+            return cand;
+        }
+    }
+}
+
+/// Generates a random safe prime `p = 2q + 1` (with `q` also prime) of
+/// exactly `bits` bits.
+///
+/// Used by the RSA accumulator setup, which requires safe-prime factors so
+/// that the group of quadratic residues has large prime order.
+///
+/// # Panics
+///
+/// Panics if `bits < 4`.
+pub fn gen_safe_prime<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+    assert!(bits >= 4, "safe primes need at least 4 bits");
+    loop {
+        let q = random_odd_bits(bits - 1, rng);
+        // Cheap joint pre-filter: p = 2q+1 must avoid all small factors too.
+        let p = &(&q << 1) + &BigUint::one();
+        if p.bit_len() != bits as u64 {
+            continue;
+        }
+        let mut ok = true;
+        for &sp in SMALL_PRIMES {
+            if (q.div_rem_limb(sp).1 == 0 || p.div_rem_limb(sp).1 == 0)
+                && q.to_u64() != Some(sp)
+                && p.to_u64() != Some(sp)
+            {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if q.is_probable_prime(4) && p.is_probable_prime(8) {
+            return p;
+        }
+    }
+}
+
+/// Returns the smallest probable prime `>= start`.
+pub fn next_prime(start: &BigUint) -> BigUint {
+    let mut cand = start.clone();
+    if cand < BigUint::two() {
+        return BigUint::two();
+    }
+    if cand.is_even() {
+        cand = &cand + &BigUint::one();
+        if cand == BigUint::two() {
+            return cand;
+        }
+    }
+    loop {
+        if cand.is_probable_prime(8) {
+            return cand;
+        }
+        cand = &cand + &BigUint::two();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        for &p in &[2u64, 3, 5, 7, 997, 104729] {
+            assert!(big(p as u128).is_probable_prime(2), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for &c in &[0u64, 1, 4, 9, 997 * 991, 104729 * 2] {
+            assert!(!big(c as u128).is_probable_prime(2), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat pseudoprimes that fool base-only tests.
+        for &c in &[561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!big(c as u128).is_probable_prime(2), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        // 2^127 - 1 and 2^89 - 1 are Mersenne primes.
+        let m127 = &(&BigUint::one() << 127) - &BigUint::one();
+        let m89 = &(&BigUint::one() << 89) - &BigUint::one();
+        assert!(m127.is_probable_prime(4));
+        assert!(m89.is_probable_prime(4));
+        // 2^128 + 1 is composite (factor 59649589127497217).
+        let f7ish = &(&BigUint::one() << 128) + &BigUint::one();
+        assert!(!f7ish.is_probable_prime(4));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [16u32, 48, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits as u64);
+            assert!(p.is_probable_prime(8));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = gen_safe_prime(64, &mut rng);
+        assert!(p.is_probable_prime(8));
+        let q = &(&p - &BigUint::one()) >> 1;
+        assert!(q.is_probable_prime(8));
+        assert_eq!(p.bit_len(), 64);
+    }
+
+    #[test]
+    fn next_prime_walks_forward() {
+        assert_eq!(next_prime(&big(0)), big(2));
+        assert_eq!(next_prime(&big(14)), big(17));
+        assert_eq!(next_prime(&big(17)), big(17));
+        assert_eq!(next_prime(&big(90)), big(97));
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        // The extra rounds are derived from the candidate, so repeated calls
+        // agree — required by H_prime recomputation on the verifier.
+        let n: BigUint = "340282366920938463463374607431768211507".parse().unwrap();
+        let first = n.is_probable_prime(16);
+        for _ in 0..3 {
+            assert_eq!(n.is_probable_prime(16), first);
+        }
+    }
+}

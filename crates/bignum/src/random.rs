@@ -1,0 +1,97 @@
+//! Uniform random sampling of big integers.
+
+use crate::uint::BigUint;
+use crate::Limb;
+use rand::RngCore;
+
+/// Samples a uniformly random integer with at most `bits` bits.
+pub fn random_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64) as usize;
+    let mut v: Vec<Limb> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        let mask = (1u64 << top_bits) - 1;
+        *v.last_mut().expect("limbs >= 1") &= mask;
+    }
+    BigUint::from_limbs(v)
+}
+
+/// Samples a random odd integer with *exactly* `bits` bits (top and bottom
+/// bits forced to one) — the standard prime-candidate shape.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn random_odd_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+    assert!(bits >= 1, "cannot sample a 0-bit integer");
+    let mut v = random_bits(bits, rng);
+    v.set_bit(bits as u64 - 1, true);
+    v.set_bit(0, true);
+    v
+}
+
+/// Samples uniformly from `[0, bound)` by rejection.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bit_len() as u32;
+    loop {
+        let cand = random_bits(bits, rng);
+        if &cand < bound {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = random_bits(100, &mut rng);
+            assert!(v.bit_len() <= 100);
+        }
+    }
+
+    #[test]
+    fn random_odd_exact_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = random_odd_bits(67, &mut rng);
+            assert_eq!(v.bit_len(), 67);
+            assert!(v.is_odd());
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from(1000u64);
+        let mut seen_small = false;
+        for _ in 0..200 {
+            let v = random_below(&bound, &mut rng);
+            assert!(v < bound);
+            if v < BigUint::from(500u64) {
+                seen_small = true;
+            }
+        }
+        assert!(seen_small, "sampling should cover the low half");
+    }
+
+    #[test]
+    fn one_bit_odd_is_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(random_odd_bits(1, &mut rng), BigUint::one());
+    }
+}

@@ -1,0 +1,61 @@
+//! Serde support: `BigUint` serializes as a hex string.
+
+use crate::uint::BigUint;
+use serde::de::{Error as DeError, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+impl Serialize for BigUint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+struct HexVisitor;
+
+impl Visitor<'_> for HexVisitor {
+    type Value = BigUint;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a hexadecimal big-integer string")
+    }
+
+    fn visit_str<E: DeError>(self, v: &str) -> Result<BigUint, E> {
+        BigUint::from_hex(v).map_err(E::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for BigUint {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str(HexVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Wrap {
+        v: BigUint,
+    }
+
+    #[test]
+    fn derive_compiles_for_wrapping_structs() {
+        // The derive above is itself the assertion: BigUint works as a
+        // field of serde-derived structs.
+        let w = Wrap {
+            v: BigUint::from(7u64),
+        };
+        assert_eq!(w.v.to_u64(), Some(7));
+    }
+
+    #[test]
+    fn hex_is_the_wire_form() {
+        // Round-trip through serde's string model without pulling in a JSON
+        // dependency: use the test serializer behaviour via to_hex/from_hex.
+        let v: BigUint = "123456789012345678901234567890".parse().unwrap();
+        let hex = v.to_hex();
+        assert_eq!(BigUint::from_hex(&hex).unwrap(), v);
+    }
+}

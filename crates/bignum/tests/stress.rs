@@ -1,0 +1,141 @@
+//! Cross-validation stress tests for the bignum substrate: the RSA
+//! accumulator's correctness rests entirely on this arithmetic.
+
+use proptest::prelude::*;
+use slicer_bignum::{BigUint, MontgomeryCtx};
+
+fn from_limbs(limbs: Vec<u64>) -> BigUint {
+    BigUint::from_limbs(limbs)
+}
+
+/// Reference modpow by plain square-and-multiply with full divisions —
+/// slow but obviously correct; used to cross-check the Montgomery path.
+fn naive_modpow(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    let mut acc = &BigUint::one() % m;
+    let mut b = base % m;
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            acc = &(&acc * &b) % m;
+        }
+        b = &(&b * &b) % m;
+    }
+    acc
+}
+
+#[test]
+fn division_add_back_stress() {
+    // Dividends shaped to trigger Knuth D's rare add-back branch: top
+    // limbs of dividend and divisor nearly equal.
+    for hi in [u64::MAX, u64::MAX - 1, 1u64 << 63] {
+        for lo in [0u64, 1, u64::MAX] {
+            let u = from_limbs(vec![lo, hi, hi, hi]);
+            let v = from_limbs(vec![u64::MAX, hi]);
+            let (q, r) = u.div_rem(&v);
+            assert!(r < v);
+            assert_eq!(&(&q * &v) + &r, u, "hi={hi:x} lo={lo:x}");
+        }
+    }
+}
+
+#[test]
+fn division_by_one_and_self() {
+    let v = from_limbs((1u64..20).map(|i| i.wrapping_mul(0x1234_5678_9ABC_DEF0)).collect());
+    let (q, r) = v.div_rem(&BigUint::one());
+    assert_eq!(q, v);
+    assert!(r.is_zero());
+    let (q, r) = v.div_rem(&v);
+    assert!(q.is_one());
+    assert!(r.is_zero());
+}
+
+#[test]
+fn montgomery_matches_naive_at_512_bits() {
+    // Odd 512-bit modulus from a fixed pattern.
+    let m = {
+        let mut x = from_limbs((0..8u64).map(|i| 0xDEAD_BEEF_0000_0001u64.rotate_left(i as u32)).collect());
+        x.set_bit(0, true);
+        x
+    };
+    let ctx = MontgomeryCtx::new(&m).expect("odd");
+    let base = from_limbs((0..8u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect());
+    let exp = BigUint::from(0xDEAD_BEEF_CAFEu64);
+    assert_eq!(ctx.modpow(&base, &exp), naive_modpow(&base, &exp, &m));
+}
+
+#[test]
+fn fermat_across_sizes() {
+    // a^(p-1) ≡ 1 for primes of several widths (exercises different limb
+    // counts in the Montgomery pipeline).
+    for hexp in [
+        "fffffffb",                         // 32-bit prime
+        "ffffffffffffffc5",                 // 64-bit prime
+        "ffffffffffffffffffffffffffffff61", // 128-bit prime
+    ] {
+        let p = BigUint::from_hex(hexp).unwrap();
+        assert!(p.is_probable_prime(8), "{hexp}");
+        let a = BigUint::from(987_654_321u64);
+        let e = &p - &BigUint::one();
+        assert_eq!(a.modpow(&e, &p), BigUint::one(), "{hexp}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn division_invariant_large(
+        u_limbs in proptest::collection::vec(any::<u64>(), 1..24),
+        v_limbs in proptest::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let u = from_limbs(u_limbs);
+        let v = from_limbs(v_limbs);
+        prop_assume!(!v.is_zero());
+        let (q, r) = u.div_rem(&v);
+        prop_assert!(r < v);
+        prop_assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_naive(
+        b_limbs in proptest::collection::vec(any::<u64>(), 1..5),
+        e in any::<u64>(),
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let mut m = from_limbs(m_limbs);
+        m.set_bit(0, true); // odd
+        prop_assume!(!m.is_one());
+        let base = from_limbs(b_limbs);
+        let exp = BigUint::from(e);
+        prop_assert_eq!(base.modpow(&exp, &m), naive_modpow(&base, &exp, &m));
+    }
+
+    #[test]
+    fn mulmod_associative(
+        a in any::<u128>(),
+        b in any::<u128>(),
+        c in any::<u128>(),
+        m_limbs in proptest::collection::vec(1u64.., 1..4),
+    ) {
+        let m = from_limbs(m_limbs);
+        prop_assume!(!m.is_zero() && !m.is_one());
+        let (a, b, c) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
+        let lhs = a.mulmod(&b, &m).mulmod(&c, &m);
+        let rhs = a.mulmod(&b.mulmod(&c, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_roundtrip_odd_modulus(
+        a_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let mut m = from_limbs(m_limbs);
+        m.set_bit(0, true);
+        prop_assume!(!m.is_one());
+        let a = from_limbs(a_limbs);
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(&(&a * &inv) % &m, BigUint::one());
+            prop_assert!(inv < m);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Blocks and the hash chain.
+
+use crate::tx::TxReceipt;
+use crate::types::H256;
+use serde::{Deserialize, Serialize};
+
+/// A sealed block.
+///
+/// Timestamps are logical (the block height doubles as the clock): the
+/// simulator is fully deterministic, which the reproducibility of the
+/// benchmark harness depends on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Height of this block.
+    pub number: u64,
+    /// Hash of the parent block (zero for genesis).
+    pub parent_hash: H256,
+    /// Hash of this block.
+    pub hash: H256,
+    /// Receipts of the transactions executed in this block.
+    pub receipts: Vec<TxReceipt>,
+}
+
+impl Block {
+    /// The genesis block.
+    pub fn genesis() -> Self {
+        let hash = H256::of(b"slicer-genesis");
+        Block {
+            number: 0,
+            parent_hash: H256::default(),
+            hash,
+            receipts: Vec::new(),
+        }
+    }
+
+    /// Seals a successor block over the given receipts.
+    pub fn seal(parent: &Block, receipts: Vec<TxReceipt>) -> Self {
+        let number = parent.number + 1;
+        let mut input = Vec::with_capacity(40 + receipts.len() * 32);
+        input.extend_from_slice(&number.to_be_bytes());
+        input.extend_from_slice(&parent.hash.0);
+        for r in &receipts {
+            input.extend_from_slice(&r.tx_hash.0);
+        }
+        Block {
+            number,
+            parent_hash: parent.hash,
+            hash: H256::of(&input),
+            receipts,
+        }
+    }
+
+    /// Verifies the chain link to `parent` and this block's own hash.
+    pub fn verify_link(&self, parent: &Block) -> bool {
+        if self.parent_hash != parent.hash || self.number != parent.number + 1 {
+            return false;
+        }
+        let mut input = Vec::with_capacity(40 + self.receipts.len() * 32);
+        input.extend_from_slice(&self.number.to_be_bytes());
+        input.extend_from_slice(&self.parent_hash.0);
+        for r in &self.receipts {
+            input.extend_from_slice(&r.tx_hash.0);
+        }
+        H256::of(&input) == self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxStatus;
+
+    fn receipt(tag: u8) -> TxReceipt {
+        TxReceipt {
+            tx_hash: H256::of(&[tag]),
+            block_number: 1,
+            gas_used: 21_000,
+            status: TxStatus::Succeeded,
+            output: vec![],
+            logs: vec![],
+        }
+    }
+
+    #[test]
+    fn chain_links_verify() {
+        let g = Block::genesis();
+        let b1 = Block::seal(&g, vec![receipt(1)]);
+        let b2 = Block::seal(&b1, vec![receipt(2)]);
+        assert!(b1.verify_link(&g));
+        assert!(b2.verify_link(&b1));
+        assert!(!b2.verify_link(&g));
+    }
+
+    #[test]
+    fn tampered_receipts_break_the_hash() {
+        let g = Block::genesis();
+        let mut b1 = Block::seal(&g, vec![receipt(1)]);
+        b1.receipts[0].tx_hash = H256::of(&[9]);
+        assert!(!b1.verify_link(&g));
+    }
+}

@@ -1,0 +1,91 @@
+//! Chain-level and contract-level errors.
+
+use crate::types::Address;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while executing inside a contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ContractError {
+    /// The call exhausted its gas limit.
+    OutOfGas,
+    /// The contract reverted with a reason string.
+    Reverted(String),
+    /// Malformed calldata.
+    BadCalldata(String),
+    /// The caller is not authorized for this method.
+    Unauthorized,
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::OutOfGas => write!(f, "out of gas"),
+            ContractError::Reverted(r) => write!(f, "reverted: {r}"),
+            ContractError::BadCalldata(r) => write!(f, "malformed calldata: {r}"),
+            ContractError::Unauthorized => write!(f, "caller not authorized"),
+        }
+    }
+}
+
+impl Error for ContractError {}
+
+/// Errors raised by the blockchain runtime itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// The sender account does not exist.
+    UnknownAccount(Address),
+    /// The sender cannot cover the transaction value.
+    InsufficientBalance {
+        /// Offending account.
+        account: Address,
+        /// Balance available.
+        have: u128,
+        /// Value required.
+        need: u128,
+    },
+    /// The call target is not a deployed contract.
+    UnknownContract(Address),
+    /// The gas limit does not cover even the intrinsic transaction cost.
+    IntrinsicGasTooLow {
+        /// Supplied limit.
+        limit: u64,
+        /// Required intrinsic gas.
+        needed: u64,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownAccount(a) => write!(f, "unknown account {a}"),
+            ChainError::InsufficientBalance { account, have, need } => {
+                write!(f, "account {account} holds {have} but needs {need}")
+            }
+            ChainError::UnknownContract(a) => write!(f, "no contract deployed at {a}"),
+            ChainError::IntrinsicGasTooLow { limit, needed } => {
+                write!(f, "gas limit {limit} below intrinsic cost {needed}")
+            }
+        }
+    }
+}
+
+impl Error for ChainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(ContractError::OutOfGas.to_string(), "out of gas");
+        let e = ChainError::InsufficientBalance {
+            account: Address::from_byte(1),
+            have: 5,
+            need: 10,
+        };
+        assert!(e.to_string().contains("needs 10"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Transactions and receipts.
+
+use crate::types::{Address, H256};
+use serde::{Deserialize, Serialize};
+
+/// A transaction submitted to the chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Sender.
+    pub from: Address,
+    /// Target contract (plain value transfers use a contract-less target).
+    pub to: Address,
+    /// Value in wei attached to the call (the search-fee escrow).
+    pub value: u128,
+    /// ABI payload.
+    pub data: Vec<u8>,
+    /// Gas limit.
+    pub gas_limit: u64,
+}
+
+impl Transaction {
+    /// A call transaction with a default 10M gas limit.
+    pub fn call(from: Address, to: Address, value: u128, data: Vec<u8>) -> Self {
+        Transaction {
+            from,
+            to,
+            value,
+            data,
+            gas_limit: 10_000_000,
+        }
+    }
+
+    /// Deterministic transaction hash.
+    pub fn hash(&self, nonce: u64) -> H256 {
+        let mut input = Vec::with_capacity(60 + self.data.len());
+        input.extend_from_slice(&self.from.0);
+        input.extend_from_slice(&self.to.0);
+        input.extend_from_slice(&self.value.to_be_bytes());
+        input.extend_from_slice(&nonce.to_be_bytes());
+        input.extend_from_slice(&self.data);
+        H256::of(&input)
+    }
+}
+
+/// Outcome of transaction execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// Executed successfully.
+    Succeeded,
+    /// Reverted (state rolled back, value refunded); carries the reason.
+    Reverted(String),
+}
+
+impl TxStatus {
+    /// True for [`TxStatus::Succeeded`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, TxStatus::Succeeded)
+    }
+}
+
+/// An event emitted by a contract during execution (discarded on revert).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEvent {
+    /// Emitting contract.
+    pub address: Address,
+    /// Topic string (e.g. `"Settled"`).
+    pub topic: String,
+    /// Event payload.
+    pub data: Vec<u8>,
+}
+
+/// Receipt of an executed transaction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxReceipt {
+    /// Hash of the transaction.
+    pub tx_hash: H256,
+    /// Block in which it was included.
+    pub block_number: u64,
+    /// Total gas consumed (intrinsic + execution).
+    pub gas_used: u64,
+    /// Execution outcome.
+    pub status: TxStatus,
+    /// Return data from the contract (empty on revert).
+    pub output: Vec<u8>,
+    /// Events emitted by the call (empty on revert).
+    pub logs: Vec<LogEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_depends_on_nonce_and_data() {
+        let tx = Transaction::call(Address::from_byte(1), Address::from_byte(2), 0, vec![1]);
+        assert_ne!(tx.hash(0), tx.hash(1));
+        let tx2 = Transaction::call(Address::from_byte(1), Address::from_byte(2), 0, vec![2]);
+        assert_ne!(tx.hash(0), tx2.hash(0));
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(TxStatus::Succeeded.is_success());
+        assert!(!TxStatus::Reverted("x".into()).is_success());
+    }
+}

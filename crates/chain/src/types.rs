@@ -1,0 +1,83 @@
+//! Core chain value types.
+
+use serde::{Deserialize, Serialize};
+use slicer_crypto::sha256;
+use std::fmt;
+
+/// A 20-byte account address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Test helper: an address whose bytes are all `b`.
+    pub fn from_byte(b: u8) -> Self {
+        Address([b; 20])
+    }
+
+    /// Derives a deterministic contract address from deployer and nonce.
+    pub fn for_contract(deployer: &Address, nonce: u64) -> Self {
+        let mut input = Vec::with_capacity(28);
+        input.extend_from_slice(&deployer.0);
+        input.extend_from_slice(&nonce.to_be_bytes());
+        let h = sha256(&input);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&h[12..32]);
+        Address(out)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+/// A 32-byte hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// Hashes arbitrary bytes.
+    pub fn of(data: &[u8]) -> Self {
+        H256(sha256(data))
+    }
+}
+
+impl fmt::Display for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_addresses_depend_on_nonce() {
+        let d = Address::from_byte(9);
+        assert_ne!(Address::for_contract(&d, 0), Address::for_contract(&d, 1));
+    }
+
+    #[test]
+    fn display_is_abbreviated() {
+        let a = Address::from_byte(0xAB);
+        assert_eq!(a.to_string(), "0xabababab…");
+    }
+
+    #[test]
+    fn h256_of_is_sha256() {
+        assert_eq!(H256::of(b"x").0, slicer_crypto::sha256(b"x"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The cloud server: search and VO generation (Algorithm 4), plus the
+//! malicious behaviours exercised by the failure-injection tests.
+
+use crate::config::SlicerConfig;
+use crate::error::SlicerError;
+use crate::messages::{BuildOutput, CloudResponse, SearchToken, SliceResult};
+use crate::owner::state_key;
+use slicer_accumulator::{hash_to_prime, witness};
+use slicer_chain::VerifyEntry;
+use slicer_crypto::Prf;
+use slicer_mshash::MsetHash;
+use slicer_store::CloudState;
+use slicer_trapdoor::{Trapdoor, TrapdoorPublic};
+
+/// How the cloud generates membership witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WitnessStrategy {
+    /// One direct `O(|X|)` fold per token — what the paper's prototype
+    /// does; its cost grows with the record count (Fig. 5b/5d).
+    Direct,
+    /// One shared complement fold for all of a query's tokens, then a
+    /// root-factor split among them — asymptotically `b×` cheaper for
+    /// order queries.
+    #[default]
+    Batched,
+    /// Maintain a [`slicer_accumulator::WitnessCache`] over every
+    /// accumulated prime (built lazily, updated incrementally on ingest):
+    /// VO generation becomes a lookup, trading ingest-time work for
+    /// query-time speed.
+    Cached,
+}
+
+/// The (honest) cloud server.
+///
+/// Stores the encrypted index, prime list and accumulator digest shipped by
+/// the owner, executes the trapdoor-walk search of Algorithm 4 and produces
+/// membership witnesses for the on-chain verification.
+#[derive(Debug)]
+pub struct CloudServer {
+    config: SlicerConfig,
+    state: CloudState,
+    trapdoor_pk: TrapdoorPublic,
+    strategy: WitnessStrategy,
+    witness_cache: slicer_accumulator::WitnessCache,
+}
+
+impl CloudServer {
+    /// A fresh cloud bound to the owner's trapdoor public key.
+    pub fn new(config: SlicerConfig, trapdoor_pk: TrapdoorPublic) -> Self {
+        CloudServer {
+            config,
+            state: CloudState::new(),
+            trapdoor_pk,
+            strategy: WitnessStrategy::default(),
+            witness_cache: slicer_accumulator::WitnessCache::default(),
+        }
+    }
+
+    /// Restores a cloud from persisted state (see
+    /// [`slicer_store::codec`]): a crashed or migrated cloud resumes
+    /// serving from the deserialized index and prime list.
+    pub fn from_state(
+        config: SlicerConfig,
+        trapdoor_pk: TrapdoorPublic,
+        state: CloudState,
+    ) -> Self {
+        CloudServer {
+            config,
+            state,
+            trapdoor_pk,
+            strategy: WitnessStrategy::default(),
+            witness_cache: slicer_accumulator::WitnessCache::default(),
+        }
+    }
+
+    /// Selects the witness-generation strategy.
+    pub fn set_strategy(&mut self, strategy: WitnessStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The stored state (index, primes, accumulator digest).
+    pub fn storage(&self) -> &CloudState {
+        &self.state
+    }
+
+    /// Ingests a `Build`/`Insert` shipment `(I, X, Ac)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlicerError::IndexCorruption`] if the shipment collides
+    /// with existing index labels.
+    pub fn ingest(&mut self, output: &BuildOutput) -> Result<(), SlicerError> {
+        self.state
+            .index
+            .extend(output.entries.iter().cloned())
+            .map_err(|e| SlicerError::IndexCorruption(e.to_string()))?;
+        self.state.primes.extend(output.primes.iter().cloned());
+        self.state.accumulator = Some(output.accumulator.clone());
+        Ok(())
+    }
+
+    /// Algorithm 4's index walk for one token: from the newest trapdoor
+    /// `t_j` down to `t_0`, scanning counters until the first miss in each
+    /// generation.
+    pub fn search_one(&self, token: &SearchToken) -> SliceResult {
+        let width = self.trapdoor_pk.trapdoor_bytes();
+        let f1 = Prf::new(&token.g1);
+        let f2 = Prf::new(&token.g2);
+        let mut er = Vec::new();
+        let mut t: Trapdoor = token.trapdoor.clone();
+        for gen in (0..=token.updates).rev() {
+            let t_bytes = t.to_bytes(width);
+            let mut c: u64 = 0;
+            loop {
+                let label = f1.eval2(&t_bytes, &c.to_be_bytes());
+                match self.state.index.get(&label) {
+                    None => break,
+                    Some(d) => {
+                        let pad = f2.eval2(&t_bytes, &c.to_be_bytes());
+                        let r: Vec<u8> = d.iter().zip(pad.iter()).map(|(x, p)| x ^ p).collect();
+                        er.push(r);
+                        c += 1;
+                    }
+                }
+            }
+            if gen > 0 {
+                t = self.trapdoor_pk.forward(&t);
+            }
+        }
+        SliceResult {
+            token: token.clone(),
+            er,
+        }
+    }
+
+    /// Searches all tokens of a query.
+    pub fn search(&self, tokens: &[SearchToken]) -> Vec<SliceResult> {
+        tokens.iter().map(|t| self.search_one(t)).collect()
+    }
+
+    /// Derives the prime representative a slice result must prove:
+    /// `x = H_prime(t_j ‖ j ‖ G1 ‖ G2 ‖ H(er))`.
+    pub fn prime_for(&self, result: &SliceResult) -> slicer_bignum::BigUint {
+        let width = self.trapdoor_pk.trapdoor_bytes();
+        let mut h = MsetHash::empty();
+        for r in &result.er {
+            h.insert(r);
+        }
+        let mut material = state_key(
+            &result.token.trapdoor.to_bytes(width),
+            result.token.updates,
+            &result.token.g1,
+            &result.token.g2,
+        );
+        material.extend_from_slice(&h.to_bytes());
+        hash_to_prime(&material, self.config.prime_bits)
+    }
+
+    /// Generates verification objects for a batch of slice results
+    /// (`MemWit` of Section III-B), using the configured strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a result's prime is not in the stored prime list — that
+    /// means the cloud's own search output is inconsistent with what the
+    /// owner accumulated, i.e. local state corruption.
+    pub fn prove(&mut self, results: &[SliceResult]) -> Vec<Vec<u8>> {
+        let xs: Vec<slicer_bignum::BigUint> =
+            results.iter().map(|r| self.prime_for(r)).collect();
+        let targets: Vec<usize> = xs
+            .iter()
+            .map(|x| {
+                self.state
+                    .primes
+                    .position(x)
+                    .expect("result prime missing from X: cloud state corrupt")
+            })
+            .collect();
+        let params = &self.config.accumulator;
+        let elem = params.element_bytes();
+        let witnesses = match self.strategy {
+            WitnessStrategy::Direct => targets
+                .iter()
+                .map(|&t| witness::membership_witness(params, self.state.primes.as_slice(), t))
+                .collect::<Vec<_>>(),
+            WitnessStrategy::Batched => {
+                // Duplicate targets (same keyword twice in a query) are
+                // impossible: tokens within one query address distinct
+                // keywords.
+                witness::witness_batch(params, self.state.primes.as_slice(), &targets)
+            }
+            WitnessStrategy::Cached => {
+                // Bring the cache up to date with any primes ingested
+                // since the last query, then answer by lookup.
+                self.witness_cache
+                    .update(params, self.state.primes.as_slice());
+                xs.iter()
+                    .map(|x| {
+                        self.witness_cache
+                            .get(x)
+                            .expect("cache covers every accumulated prime")
+                            .clone()
+                    })
+                    .collect()
+            }
+        };
+        witnesses
+            .into_iter()
+            .map(|w| w.to_bytes_be_padded(elem))
+            .collect()
+    }
+
+    /// Full Algorithm 4: search + VO generation, producing the
+    /// contract-ready entries.
+    pub fn respond(&mut self, tokens: &[SearchToken]) -> CloudResponse {
+        let results = self.search(tokens);
+        let vos = self.prove(&results);
+        let entries = results
+            .iter()
+            .zip(vos)
+            .enumerate()
+            .map(|(i, (r, vo))| VerifyEntry {
+                token_idx: i as u16,
+                er: r.er.clone(),
+                vo,
+            })
+            .collect();
+        CloudResponse { entries, results }
+    }
+}
+
+/// Malicious-cloud behaviours (Section IV-B threat model): each helper
+/// corrupts an honest response the way a dishonest cloud would, so tests
+/// and examples can check that on-chain verification catches it.
+pub mod malicious {
+    use super::CloudResponse;
+
+    /// Drops one matching record from the first non-empty result
+    /// (incomplete results).
+    pub fn drop_record(mut resp: CloudResponse) -> CloudResponse {
+        for (entry, result) in resp.entries.iter_mut().zip(&mut resp.results) {
+            if !entry.er.is_empty() {
+                entry.er.pop();
+                result.er.pop();
+                break;
+            }
+        }
+        resp
+    }
+
+    /// Injects a forged record ciphertext into the first result
+    /// (incorrect results).
+    pub fn inject_record(mut resp: CloudResponse, forged: Vec<u8>) -> CloudResponse {
+        if let (Some(entry), Some(result)) = (resp.entries.first_mut(), resp.results.first_mut())
+        {
+            entry.er.push(forged.clone());
+            result.er.push(forged);
+        }
+        resp
+    }
+
+    /// Replaces the first verification object with garbage (forged proof).
+    pub fn corrupt_witness(mut resp: CloudResponse) -> CloudResponse {
+        if let Some(entry) = resp.entries.first_mut() {
+            for b in entry.vo.iter_mut() {
+                *b ^= 0x55;
+            }
+        }
+        resp
+    }
+
+    /// Swaps the results of the first two slices while keeping their
+    /// witnesses (mismatched result/proof binding).
+    pub fn swap_results(mut resp: CloudResponse) -> CloudResponse {
+        if resp.entries.len() >= 2 {
+            let (a, b) = resp.entries.split_at_mut(1);
+            std::mem::swap(&mut a[0].er, &mut b[0].er);
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Query;
+    use crate::owner::DataOwner;
+    use crate::record::RecordId;
+    use slicer_accumulator::Accumulator;
+
+    fn setup(n: u64) -> (DataOwner, CloudServer) {
+        let mut owner = DataOwner::new(SlicerConfig::test_8bit(), 11);
+        let db: Vec<(RecordId, u64)> =
+            (0..n).map(|i| (RecordId::from_u64(i), (i * 7) % 256)).collect();
+        let out = owner.build(&db).unwrap();
+        let mut cloud = CloudServer::new(
+            owner.config().clone(),
+            owner.keys().trapdoor().public().clone(),
+        );
+        cloud.ingest(&out).unwrap();
+        (owner, cloud)
+    }
+
+    #[test]
+    fn equality_search_returns_matching_count() {
+        let (owner, cloud) = setup(40);
+        // Values are (i*7)%256 for i in 0..40: value 7 appears once (i=1).
+        let tokens = owner.search_tokens(&Query::equal(7));
+        assert_eq!(tokens.len(), 1);
+        let results = cloud.search(&tokens);
+        assert_eq!(results[0].er.len(), 1);
+    }
+
+    #[test]
+    fn order_search_finds_all_smaller_values() {
+        let (owner, cloud) = setup(40);
+        let expected = (0..40).filter(|i| (i * 7) % 256 < 50).count();
+        let tokens = owner.search_tokens(&Query::less_than(50));
+        let results = cloud.search(&tokens);
+        let total: usize = results.iter().map(|r| r.er.len()).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn search_spans_insert_generations() {
+        let (mut owner, mut cloud) = setup(10);
+        let out = owner.insert(&[(RecordId::from_u64(100), 7)]).unwrap();
+        cloud.ingest(&out).unwrap();
+        let before7 = (0..10).filter(|i| (i * 7) % 256 == 7).count();
+        let tokens = owner.search_tokens(&Query::equal(7));
+        let results = cloud.search(&tokens);
+        assert_eq!(results[0].er.len(), before7 + 1, "old + new generation");
+    }
+
+    #[test]
+    fn honest_witnesses_verify_against_owner_accumulator() {
+        let (owner, mut cloud) = setup(25);
+        let tokens = owner.search_tokens(&Query::less_than(100));
+        let resp = cloud.respond(&tokens);
+        let params = &owner.config().accumulator;
+        let acc = Accumulator::from_value(params, owner.accumulator().clone());
+        for (entry, result) in resp.entries.iter().zip(&resp.results) {
+            let x = cloud.prime_for(result);
+            let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
+            assert!(acc.verify(&x, &w));
+        }
+    }
+
+    #[test]
+    fn all_witness_strategies_agree() {
+        let (owner, mut cloud) = setup(25);
+        let tokens = owner.search_tokens(&Query::less_than(100));
+        let results = cloud.search(&tokens);
+        cloud.set_strategy(WitnessStrategy::Direct);
+        let direct = cloud.prove(&results);
+        cloud.set_strategy(WitnessStrategy::Batched);
+        let batched = cloud.prove(&results);
+        cloud.set_strategy(WitnessStrategy::Cached);
+        let cached = cloud.prove(&results);
+        assert_eq!(direct, batched);
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn cached_strategy_survives_inserts() {
+        let (mut owner, mut cloud) = setup(15);
+        cloud.set_strategy(WitnessStrategy::Cached);
+        // Warm the cache.
+        let tokens = owner.search_tokens(&Query::less_than(100));
+        let results = cloud.search(&tokens);
+        cloud.prove(&results);
+        // Insert rotates trapdoors and appends primes; the cache must
+        // catch up incrementally and still verify.
+        let out = owner.insert(&[(RecordId::from_u64(77), 42)]).unwrap();
+        cloud.ingest(&out).unwrap();
+        let tokens = owner.search_tokens(&Query::equal(42));
+        let resp = cloud.respond(&tokens);
+        let params = &owner.config().accumulator;
+        let acc = Accumulator::from_value(params, owner.accumulator().clone());
+        for (entry, result) in resp.entries.iter().zip(&resp.results) {
+            let x = cloud.prime_for(result);
+            let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
+            assert!(acc.verify(&x, &w));
+        }
+    }
+
+    #[test]
+    fn tampered_responses_produce_wrong_primes() {
+        let (owner, mut cloud) = setup(25);
+        let tokens = owner.search_tokens(&Query::less_than(100));
+        let honest = cloud.respond(&tokens);
+        let tampered = malicious::drop_record(honest.clone());
+        // Find the slice whose er changed and show its prime moved.
+        for (h, t) in honest.results.iter().zip(&tampered.results) {
+            if h.er != t.er {
+                assert_ne!(cloud.prime_for(h), cloud.prime_for(t));
+                return;
+            }
+        }
+        panic!("tampering changed nothing");
+    }
+}

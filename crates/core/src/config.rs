@@ -1,0 +1,67 @@
+//! Protocol configuration.
+
+use slicer_accumulator::{RsaParams, DEFAULT_PRIME_BITS};
+
+/// Configuration shared by every party of a Slicer deployment.
+#[derive(Debug, Clone)]
+pub struct SlicerConfig {
+    /// Bit width `b` of the numerical values (the paper evaluates 8, 16
+    /// and 24).
+    pub value_bits: u8,
+    /// Size of `H_prime` prime representatives.
+    pub prime_bits: u32,
+    /// RSA accumulator public parameters.
+    pub accumulator: RsaParams,
+    /// Trapdoor-permutation modulus size when generating fresh keys.
+    pub trapdoor_bits: u32,
+}
+
+impl SlicerConfig {
+    /// Configuration for `value_bits`-bit values with the fixed 512-bit
+    /// accumulator parameters — the evaluation setup.
+    pub fn with_bits(value_bits: u8) -> Self {
+        assert!((1..=64).contains(&value_bits));
+        SlicerConfig {
+            value_bits,
+            prime_bits: DEFAULT_PRIME_BITS,
+            accumulator: RsaParams::fixed_512(),
+            trapdoor_bits: 512,
+        }
+    }
+
+    /// Fast 8-bit test configuration.
+    pub fn test_8bit() -> Self {
+        Self::with_bits(8)
+    }
+
+    /// 16-bit configuration (paper's middle setting).
+    pub fn test_16bit() -> Self {
+        Self::with_bits(16)
+    }
+
+    /// Largest value representable under this configuration.
+    pub fn max_value(&self) -> u64 {
+        if self.value_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.value_bits) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_value_matches_width() {
+        assert_eq!(SlicerConfig::test_8bit().max_value(), 255);
+        assert_eq!(SlicerConfig::with_bits(64).max_value(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_rejected() {
+        SlicerConfig::with_bits(0);
+    }
+}

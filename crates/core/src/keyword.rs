@@ -1,0 +1,83 @@
+//! SSE keywords: `w ∈ {v} ∪ {ct_i}` of Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+use slicer_sore::SliceTuple;
+
+/// A keyword in Slicer's encrypted index: either the value itself (serving
+/// equality queries) or one of its SORE ciphertext tuples (serving order
+/// queries).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Keyword {
+    /// The plain value `v` under an attribute — equality search keyword.
+    Equality {
+        /// Attribute name (empty for single-attribute databases).
+        attr: Vec<u8>,
+        /// The value.
+        value: u64,
+    },
+    /// A SORE ciphertext tuple `ct_i` — order search keyword.
+    Slice(SliceTuple),
+}
+
+impl Keyword {
+    /// Canonical byte encoding, domain-separated between the two variants
+    /// so an equality keyword can never collide with a slice keyword.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Keyword::Equality { attr, value } => {
+                let mut out = Vec::with_capacity(11 + attr.len());
+                out.push(0x00);
+                out.extend_from_slice(&(attr.len() as u16).to_be_bytes());
+                out.extend_from_slice(attr);
+                out.extend_from_slice(&value.to_be_bytes());
+                out
+            }
+            Keyword::Slice(t) => {
+                let mut out = Vec::with_capacity(1 + 13 + t.attr.len());
+                out.push(0x01);
+                out.extend_from_slice(&t.encode());
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_sore::Order;
+
+    #[test]
+    fn variants_are_domain_separated() {
+        let eq = Keyword::Equality {
+            attr: vec![],
+            value: 5,
+        };
+        let slice = Keyword::Slice(SliceTuple {
+            attr: vec![],
+            index: 1,
+            prefix: 0,
+            bit: true,
+            op: Order::Greater,
+        });
+        assert_ne!(eq.encode()[0], slice.encode()[0]);
+    }
+
+    #[test]
+    fn encoding_distinguishes_attrs_and_values() {
+        let k1 = Keyword::Equality {
+            attr: b"age".to_vec(),
+            value: 5,
+        };
+        let k2 = Keyword::Equality {
+            attr: b"age".to_vec(),
+            value: 6,
+        };
+        let k3 = Keyword::Equality {
+            attr: b"pay".to_vec(),
+            value: 5,
+        };
+        assert_ne!(k1.encode(), k2.encode());
+        assert_ne!(k1.encode(), k3.encode());
+    }
+}

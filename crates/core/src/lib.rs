@@ -1,0 +1,76 @@
+//! # slicer-core
+//!
+//! The Slicer protocol: verifiable, secure and fair search over encrypted
+//! numerical data using blockchain (Wu, Song, Lei, Xiao — ICDCS 2022).
+//!
+//! This crate wires the substrates ([`slicer_sore`], [`slicer_mshash`],
+//! [`slicer_accumulator`], [`slicer_trapdoor`], [`slicer_store`],
+//! [`slicer_chain`]) into the four-party protocol of Section IV:
+//!
+//! * [`DataOwner`] — `KGen`, `Build` (Algorithm 1) and forward-secure
+//!   `Insert` (Algorithm 2); ships the encrypted index and prime list to
+//!   the cloud and the accumulator digest to the chain.
+//! * [`DataUser`] — search-token generation (Algorithm 3) and result
+//!   decryption, operating on keys and trapdoor state delegated by the
+//!   owner.
+//! * [`CloudServer`] — the search walk and VO generation (Algorithm 4),
+//!   plus deliberately *malicious* variants used by the failure-injection
+//!   test-suite.
+//! * [`SlicerSystem`] / [`SlicerInstance`] — end-to-end orchestration over
+//!   a [`slicer_chain::Blockchain`] running the verification contract
+//!   (Algorithm 5) with escrowed search fees.
+//! * [`DualSlicer`] — the Section V-F extension supporting deletion and
+//!   update by running an insert-instance and a delete-instance side by
+//!   side.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use slicer_core::{Query, RecordId, SlicerConfig, SlicerSystem};
+//!
+//! // 8-bit values, deterministic seed.
+//! let mut system = SlicerSystem::setup(SlicerConfig::test_8bit(), 42);
+//! let db: Vec<(RecordId, u64)> = (0u64..50)
+//!     .map(|i| (RecordId::from_u64(i), (i * 3) % 256))
+//!     .collect();
+//! system.build(&db).unwrap();
+//!
+//! let outcome = system.search(&Query::less_than(30), 1_000).unwrap();
+//! assert!(outcome.verified);
+//! for id in &outcome.records {
+//!     let i = id.as_u64().unwrap();
+//!     assert!((i * 3) % 256 < 30);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cloud;
+mod config;
+mod dual;
+mod error;
+mod keys;
+mod keyword;
+pub mod leakage;
+mod messages;
+mod owner;
+mod record;
+mod state;
+mod system;
+mod user;
+
+pub use cloud::{malicious, CloudServer, WitnessStrategy};
+pub use config::SlicerConfig;
+pub use dual::DualSlicer;
+pub use error::SlicerError;
+pub use keys::KeySet;
+pub use keyword::Keyword;
+pub use messages::{
+    BuildOutput, BuildTiming, CloudResponse, Query, QueryOp, SearchToken, SliceResult,
+};
+pub use owner::DataOwner;
+pub use record::{Record, RecordId, RECORD_CIPHERTEXT_LEN};
+pub use state::{KeywordState, OwnerState};
+pub use system::{SearchOutcome, SlicerInstance, SlicerSystem};
+pub use user::DataUser;

@@ -1,0 +1,66 @@
+//! Owner-side mutable state: the trapdoor dictionary `T` and set-hash
+//! dictionary `S` of Algorithms 1–2.
+
+use serde::{Deserialize, Serialize};
+use slicer_mshash::MsetHash;
+use slicer_trapdoor::Trapdoor;
+use std::collections::HashMap;
+
+/// The per-keyword state stored in `T`: the newest trapdoor and the update
+/// count `j`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeywordState {
+    /// Newest trapdoor `t_j`.
+    pub trapdoor: Trapdoor,
+    /// Number of insert-updates applied to this keyword (`j`).
+    pub updates: u32,
+    /// Per-generation counter `c`: entries stored under the newest trapdoor
+    /// so far (resets on every trapdoor rotation).
+    pub counter: u64,
+}
+
+/// Owner state: `T` (trapdoor states, also delegated to users) and `S`
+/// (set hashes, owner-only).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OwnerState {
+    /// `T`: keyword encoding → trapdoor state.
+    pub trapdoors: HashMap<Vec<u8>, KeywordState>,
+    /// `S`: keyword state key (`t‖j‖G1‖G2`) → multiset hash of the
+    /// keyword's full result set.
+    pub set_hashes: HashMap<Vec<u8>, MsetHash>,
+}
+
+impl OwnerState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The user-visible half (`T` only) shipped during delegation.
+    pub fn user_view(&self) -> HashMap<Vec<u8>, KeywordState> {
+        self.trapdoors.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_bignum::BigUint;
+
+    #[test]
+    fn user_view_excludes_set_hashes() {
+        let mut s = OwnerState::new();
+        s.trapdoors.insert(
+            b"w".to_vec(),
+            KeywordState {
+                trapdoor: Trapdoor::from_value(BigUint::from(5u64)),
+                updates: 0,
+                counter: 1,
+            },
+        );
+        s.set_hashes.insert(b"k".to_vec(), MsetHash::empty());
+        let view = s.user_view();
+        assert_eq!(view.len(), 1);
+        assert!(view.contains_key(b"w".as_slice()));
+    }
+}

@@ -1,0 +1,468 @@
+//! End-to-end orchestration: the four-party workflow of Fig. 1.
+
+use crate::cloud::CloudServer;
+use crate::config::SlicerConfig;
+use crate::error::SlicerError;
+use crate::messages::Query;
+use crate::owner::DataOwner;
+use crate::record::{Record, RecordId};
+use crate::user::DataUser;
+use slicer_chain::{
+    Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt,
+};
+use slicer_crypto::sha256;
+
+/// Outcome of a verified search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Decrypted matching record IDs (with multiplicity, for the
+    /// dual-instance difference).
+    pub records: Vec<RecordId>,
+    /// Whether the on-chain verification passed.
+    pub verified: bool,
+    /// Gas consumed registering the request (tokens + escrow).
+    pub request_gas: u64,
+    /// Gas consumed by the result submission + verification.
+    pub verify_gas: u64,
+    /// Whether the escrowed fee went to the cloud (`true`) or back to the
+    /// user (`false`). Trivially-empty searches settle nothing.
+    pub paid_cloud: bool,
+}
+
+/// One Slicer deployment: owner + cloud + user + verification contract,
+/// operating against a caller-provided [`Blockchain`]. Use this directly
+/// when several instances share a chain (see [`crate::DualSlicer`]);
+/// otherwise [`SlicerSystem`] bundles a chain for you.
+#[derive(Debug)]
+pub struct SlicerInstance {
+    /// The data owner.
+    pub owner: DataOwner,
+    /// The cloud server.
+    pub cloud: CloudServer,
+    /// The authorized data user.
+    pub user: DataUser,
+    owner_addr: Address,
+    user_addr: Address,
+    cloud_addr: Address,
+    contract: Address,
+    request_counter: u64,
+}
+
+impl SlicerInstance {
+    /// Creates the parties, funds their accounts and deploys the
+    /// verification contract on `chain`.
+    pub fn setup(config: SlicerConfig, seed: u64, chain: &mut Blockchain) -> Self {
+        let owner = DataOwner::new(config.clone(), seed);
+        let cloud = CloudServer::new(config.clone(), owner.keys().trapdoor().public().clone());
+        let user = owner.delegate();
+
+        // Derive distinct addresses from the seed.
+        let addr = |tag: &str| {
+            let h = sha256(&[tag.as_bytes(), &seed.to_be_bytes()].concat());
+            let mut a = [0u8; 20];
+            a.copy_from_slice(&h[..20]);
+            Address(a)
+        };
+        let owner_addr = addr("owner");
+        let user_addr = addr("user");
+        let cloud_addr = addr("cloud");
+        chain.create_account(owner_addr, 10_000_000_000);
+        chain.create_account(user_addr, 10_000_000_000);
+        chain.create_account(cloud_addr, 10_000_000_000);
+
+        let contract = SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
+        let deployed = chain
+            .deploy_contract(owner_addr, Box::new(contract), 0)
+            .expect("owner account funded above");
+        chain.seal_block();
+
+        SlicerInstance {
+            owner,
+            cloud,
+            user,
+            owner_addr,
+            user_addr,
+            cloud_addr,
+            contract: deployed.address,
+            request_counter: 0,
+        }
+    }
+
+    /// The verification contract's address.
+    pub fn contract_address(&self) -> Address {
+        self.contract
+    }
+
+    /// The parties' chain addresses `(owner, user, cloud)`.
+    pub fn addresses(&self) -> (Address, Address, Address) {
+        (self.owner_addr, self.user_addr, self.cloud_addr)
+    }
+
+    /// Publishes the owner's current accumulator digest on chain.
+    fn publish_accumulator(&self, chain: &mut Blockchain) -> Result<TxReceipt, SlicerError> {
+        let elem = self.owner.config().accumulator.element_bytes();
+        let call = SlicerCall::SetAccumulator(self.owner.accumulator().to_bytes_be_padded(elem));
+        let receipt = chain.send_transaction(Transaction::call(
+            self.owner_addr,
+            self.contract,
+            0,
+            call.encode(),
+        ))?;
+        chain.seal_block();
+        Ok(receipt)
+    }
+
+    /// Full `Build` flow: owner builds, cloud ingests `(I, X, Ac)`, the
+    /// digest goes on chain and the user receives the fresh state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side domain errors and chain failures.
+    pub fn build(
+        &mut self,
+        chain: &mut Blockchain,
+        db: &[(RecordId, u64)],
+    ) -> Result<TxReceipt, SlicerError> {
+        let out = self.owner.build(db)?;
+        self.cloud.ingest(&out)?;
+        self.user.sync_state(self.owner.state().user_view());
+        self.publish_accumulator(chain)
+    }
+
+    /// Multi-attribute `Build`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side domain errors and chain failures.
+    pub fn build_records(
+        &mut self,
+        chain: &mut Blockchain,
+        db: &[Record],
+    ) -> Result<TxReceipt, SlicerError> {
+        let out = self.owner.build_records(db)?;
+        self.cloud.ingest(&out)?;
+        self.user.sync_state(self.owner.state().user_view());
+        self.publish_accumulator(chain)
+    }
+
+    /// Full forward-secure `Insert` flow. Returns the receipt of the
+    /// on-chain digest update (the 29 144-gas operation of Table II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side domain errors and chain failures.
+    pub fn insert(
+        &mut self,
+        chain: &mut Blockchain,
+        db_plus: &[(RecordId, u64)],
+    ) -> Result<TxReceipt, SlicerError> {
+        let out = self.owner.insert(db_plus)?;
+        self.cloud.ingest(&out)?;
+        self.user.sync_state(self.owner.state().user_view());
+        self.publish_accumulator(chain)
+    }
+
+    /// Multi-attribute `Insert`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side domain errors and chain failures.
+    pub fn insert_records(
+        &mut self,
+        chain: &mut Blockchain,
+        db_plus: &[Record],
+    ) -> Result<TxReceipt, SlicerError> {
+        let out = self.owner.insert_records(db_plus)?;
+        self.cloud.ingest(&out)?;
+        self.user.sync_state(self.owner.state().user_view());
+        self.publish_accumulator(chain)
+    }
+
+    /// The full verifiable-search workflow of Fig. 1:
+    ///
+    /// 1. the user generates tokens and registers the request (escrowing
+    ///    `payment` wei),
+    /// 2. the cloud searches, generates VOs and submits,
+    /// 3. the contract verifies and settles the payment,
+    /// 4. the user decrypts the results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures and malformed-result errors.
+    pub fn search(
+        &mut self,
+        chain: &mut Blockchain,
+        query: &Query,
+        payment: u128,
+    ) -> Result<SearchOutcome, SlicerError> {
+        self.search_with(chain, query, payment, |resp| resp)
+    }
+
+    /// [`SlicerInstance::search`] with a hook that lets tests and examples
+    /// replace the cloud's honest response with a tampered one before it is
+    /// submitted for verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures and malformed-result errors.
+    pub fn search_with(
+        &mut self,
+        chain: &mut Blockchain,
+        query: &Query,
+        payment: u128,
+        tamper: impl FnOnce(crate::messages::CloudResponse) -> crate::messages::CloudResponse,
+    ) -> Result<SearchOutcome, SlicerError> {
+        let tokens = self.user.tokens_for(query);
+        if tokens.is_empty() {
+            // Nothing indexed can match: `T` (trusted, owner-signed state)
+            // has no entry, so the result is provably empty without paying.
+            return Ok(SearchOutcome {
+                records: Vec::new(),
+                verified: true,
+                request_gas: 0,
+                verify_gas: 0,
+                paid_cloud: false,
+            });
+        }
+
+        // 1. Register the request with tokens + escrow.
+        self.request_counter += 1;
+        let mut rid = [0u8; 32];
+        rid.copy_from_slice(&sha256(
+            &[&self.user_addr.0[..], &self.request_counter.to_be_bytes()].concat(),
+        ));
+        let width = self.owner.keys().trapdoor().public().trapdoor_bytes();
+        let call = SlicerCall::RequestSearch {
+            request_id: rid,
+            cloud: self.cloud_addr,
+            tokens: tokens.iter().map(|t| t.to_chain(width)).collect(),
+        };
+        let req_receipt = chain.send_transaction(Transaction::call(
+            self.user_addr,
+            self.contract,
+            payment,
+            call.encode(),
+        ))?;
+
+        // 2. Cloud searches and proves (tokens travel via the chain in the
+        //    real deployment; the cloud reads the same values here).
+        let response = tamper(self.cloud.respond(&tokens));
+
+        // 3. Submit for verification and settlement.
+        let submit = SlicerCall::SubmitResult {
+            request_id: rid,
+            entries: response.entries.clone(),
+        };
+        let mut tx = Transaction::call(self.cloud_addr, self.contract, 0, submit.encode());
+        tx.gas_limit = 100_000_000; // verification of large result sets
+        let sub_receipt = chain.send_transaction(tx)?;
+        chain.seal_block();
+        let verified = sub_receipt.status.is_success() && sub_receipt.output == [1];
+
+        // 4. Decrypt whatever the cloud returned (worthless if unverified).
+        let records = self.user.decrypt(&response.results)?;
+
+        Ok(SearchOutcome {
+            records,
+            verified,
+            request_gas: req_receipt.gas_used,
+            verify_gas: sub_receipt.gas_used,
+            paid_cloud: verified && payment > 0,
+        })
+    }
+}
+
+/// A self-contained deployment: a [`SlicerInstance`] plus its own chain.
+///
+/// See the crate-level example for the typical lifecycle.
+#[derive(Debug)]
+pub struct SlicerSystem {
+    instance: SlicerInstance,
+    chain: Blockchain,
+}
+
+impl SlicerSystem {
+    /// Sets up chain, contract and parties.
+    pub fn setup(config: SlicerConfig, seed: u64) -> Self {
+        let mut chain = Blockchain::new();
+        let instance = SlicerInstance::setup(config, seed, &mut chain);
+        SlicerSystem { instance, chain }
+    }
+
+    /// Builds the initial database. See [`SlicerInstance::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side and chain errors.
+    pub fn build(&mut self, db: &[(RecordId, u64)]) -> Result<TxReceipt, SlicerError> {
+        self.instance.build(&mut self.chain, db)
+    }
+
+    /// Builds multi-attribute records. See [`SlicerInstance::build_records`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side and chain errors.
+    pub fn build_records(&mut self, db: &[Record]) -> Result<TxReceipt, SlicerError> {
+        self.instance.build_records(&mut self.chain, db)
+    }
+
+    /// Inserts new records. See [`SlicerInstance::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side and chain errors.
+    pub fn insert(&mut self, db_plus: &[(RecordId, u64)]) -> Result<TxReceipt, SlicerError> {
+        self.instance.insert(&mut self.chain, db_plus)
+    }
+
+    /// Inserts multi-attribute records. See
+    /// [`SlicerInstance::insert_records`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates owner-side and chain errors.
+    pub fn insert_records(&mut self, db_plus: &[Record]) -> Result<TxReceipt, SlicerError> {
+        self.instance.insert_records(&mut self.chain, db_plus)
+    }
+
+    /// Runs a verified search. See [`SlicerInstance::search`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain and result-decoding errors.
+    pub fn search(&mut self, query: &Query, payment: u128) -> Result<SearchOutcome, SlicerError> {
+        self.instance.search(&mut self.chain, query, payment)
+    }
+
+    /// Search with a tampering hook (failure injection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain and result-decoding errors.
+    pub fn search_with(
+        &mut self,
+        query: &Query,
+        payment: u128,
+        tamper: impl FnOnce(crate::messages::CloudResponse) -> crate::messages::CloudResponse,
+    ) -> Result<SearchOutcome, SlicerError> {
+        self.instance
+            .search_with(&mut self.chain, query, payment, tamper)
+    }
+
+    /// The inner instance.
+    pub fn instance(&self) -> &SlicerInstance {
+        &self.instance
+    }
+
+    /// Mutable access to the inner instance.
+    pub fn instance_mut(&mut self) -> &mut SlicerInstance {
+        &mut self.instance
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// Mutable access to the chain (adversarial tests submit raw
+    /// transactions through this).
+    pub fn chain_mut(&mut self) -> &mut Blockchain {
+        &mut self.chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::malicious;
+
+    fn db(n: u64) -> Vec<(RecordId, u64)> {
+        (0..n).map(|i| (RecordId::from_u64(i), (i * 13) % 256)).collect()
+    }
+
+    #[test]
+    fn end_to_end_equality() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 1);
+        sys.build(&db(30)).unwrap();
+        let out = sys.search(&Query::equal(13), 100).unwrap();
+        assert!(out.verified);
+        assert_eq!(out.records, vec![RecordId::from_u64(1)]);
+        assert!(out.paid_cloud);
+    }
+
+    #[test]
+    fn end_to_end_order_query_matches_oracle() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 2);
+        let data = db(40);
+        sys.build(&data).unwrap();
+        for q in [Query::less_than(60), Query::greater_than(200)] {
+            let out = sys.search(&q, 10).unwrap();
+            assert!(out.verified, "query {q:?}");
+            let mut got: Vec<u64> =
+                out.records.iter().map(|r| r.as_u64().unwrap()).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = data
+                .iter()
+                .filter(|(_, v)| q.matches(*v))
+                .map(|(id, _)| id.as_u64().unwrap())
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_settles_nothing() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 3);
+        sys.build(&[(RecordId::from_u64(1), 10)]).unwrap();
+        let out = sys.search(&Query::equal(99), 500).unwrap();
+        assert!(out.verified);
+        assert!(out.records.is_empty());
+        assert!(!out.paid_cloud);
+        assert_eq!(out.request_gas, 0);
+    }
+
+    #[test]
+    fn search_after_insert_sees_fresh_data_and_verifies() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 4);
+        sys.build(&db(10)).unwrap();
+        sys.insert(&[(RecordId::from_u64(100), 13)]).unwrap();
+        let out = sys.search(&Query::equal(13), 10).unwrap();
+        assert!(out.verified);
+        let mut got: Vec<u64> = out.records.iter().map(|r| r.as_u64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 100]);
+    }
+
+    #[test]
+    fn tampered_response_fails_verification_and_refunds() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 5);
+        sys.build(&db(30)).unwrap();
+        let (_, user_addr, cloud_addr) = sys.instance().addresses();
+        let user_before = sys.chain().balance(&user_addr);
+        let cloud_before = sys.chain().balance(&cloud_addr);
+
+        let out = sys
+            .search_with(&Query::less_than(100), 1_000, malicious::drop_record)
+            .unwrap();
+        assert!(!out.verified, "dropped record must not verify");
+        assert!(!out.paid_cloud);
+        // Escrow refunded: user balance unchanged, cloud not paid.
+        assert_eq!(sys.chain().balance(&user_addr), user_before);
+        assert_eq!(sys.chain().balance(&cloud_addr), cloud_before);
+    }
+
+    #[test]
+    fn honest_search_pays_the_cloud() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 6);
+        sys.build(&db(30)).unwrap();
+        let (_, user_addr, cloud_addr) = sys.instance().addresses();
+        let user_before = sys.chain().balance(&user_addr);
+        let cloud_before = sys.chain().balance(&cloud_addr);
+        let out = sys.search(&Query::less_than(100), 1_000).unwrap();
+        assert!(out.verified);
+        assert_eq!(sys.chain().balance(&user_addr), user_before - 1_000);
+        assert_eq!(sys.chain().balance(&cloud_addr), cloud_before + 1_000);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types for symmetric primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `slicer-crypto` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Ciphertext shorter than the mandatory nonce prefix.
+    CiphertextTooShort {
+        /// Observed ciphertext length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::CiphertextTooShort { len } => {
+                write!(f, "ciphertext of {len} bytes is shorter than the 16-byte nonce")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CryptoError::CiphertextTooShort { len: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('3'));
+        assert!(msg.starts_with("ciphertext"));
+    }
+}

@@ -1,0 +1,142 @@
+//! HMAC-SHA256 (RFC 2104).
+
+use crate::sha256_mod::{sha256, Sha256};
+
+const BLOCK_SIZE: usize = 64;
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use slicer_crypto::Hmac;
+/// let mut mac = Hmac::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag, slicer_crypto::hmac_sha256(b"key", b"message"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hmac {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_SIZE],
+}
+
+impl Hmac {
+    /// Creates an HMAC context for `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            block_key[..32].copy_from_slice(&sha256(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_SIZE];
+        let mut opad = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut mac = Hmac::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case7_long_key_long_data() {
+        let key = [0xaau8; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac_sha256(&key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"incremental key";
+        let msg = b"a message split across several update calls";
+        let mut mac = Hmac::new(key);
+        for c in msg.chunks(5) {
+            mac.update(c);
+        }
+        assert_eq!(mac.finalize(), hmac_sha256(key, msg));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

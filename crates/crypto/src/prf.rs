@@ -1,0 +1,106 @@
+//! Keyed PRF façade used as `F` and `G` in the Slicer protocols.
+
+use crate::hmac_mod::hmac_sha256;
+
+/// A pseudo-random function keyed with an arbitrary byte string.
+///
+/// This is the `F : {0,1}^λ × {0,1}^* → {0,1}^λ` of the paper, instantiated
+/// with HMAC-SHA256 (the prototype used HMAC-128; we keep the full 256-bit
+/// output for index labels and expose [`Prf::eval128`] where the truncated
+/// form is wanted).
+///
+/// # Examples
+///
+/// ```
+/// use slicer_crypto::Prf;
+/// let g = Prf::new(b"master key K");
+/// // G(K, w || 1) and G(K, w || 2) from Algorithm 1:
+/// let g1 = g.derive(b"keyword w", 1);
+/// let g2 = g.derive(b"keyword w", 2);
+/// assert_ne!(g1, g2);
+/// ```
+#[derive(Clone)]
+pub struct Prf {
+    key: Vec<u8>,
+}
+
+impl std::fmt::Debug for Prf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prf(<keyed>)")
+    }
+}
+
+impl Prf {
+    /// Creates a PRF keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        Prf { key: key.to_vec() }
+    }
+
+    /// Evaluates the PRF on `input`, returning 32 bytes.
+    pub fn eval(&self, input: &[u8]) -> [u8; 32] {
+        hmac_sha256(&self.key, input)
+    }
+
+    /// Evaluates the PRF truncated to 16 bytes (the paper's HMAC-128).
+    pub fn eval128(&self, input: &[u8]) -> [u8; 16] {
+        let full = self.eval(input);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
+    }
+
+    /// Domain-separated derivation `PRF(key, input ‖ tag)` — the
+    /// `G(K, w‖1)` / `G(K, w‖2)` pattern of Algorithms 1–3.
+    pub fn derive(&self, input: &[u8], tag: u8) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(input.len() + 1);
+        buf.extend_from_slice(input);
+        buf.push(tag);
+        self.eval(&buf)
+    }
+
+    /// Evaluates the PRF on the concatenation of two parts, mirroring the
+    /// `F(G1, t ‖ c)` pattern without intermediate allocation at call sites.
+    pub fn eval2(&self, a: &[u8], b: &[u8]) -> [u8; 32] {
+        let mut mac = crate::hmac_mod::Hmac::new(&self.key);
+        mac.update(a);
+        mac.update(b);
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = Prf::new(b"k");
+        assert_eq!(p.eval(b"x"), p.eval(b"x"));
+    }
+
+    #[test]
+    fn derive_separates_domains() {
+        let p = Prf::new(b"k");
+        assert_ne!(p.derive(b"w", 1), p.derive(b"w", 2));
+        // Matches explicit concatenation.
+        assert_eq!(p.derive(b"w", 1), p.eval(b"w\x01"));
+    }
+
+    #[test]
+    fn eval2_matches_concat() {
+        let p = Prf::new(b"k");
+        assert_eq!(p.eval2(b"foo", b"bar"), p.eval(b"foobar"));
+    }
+
+    #[test]
+    fn eval128_is_prefix() {
+        let p = Prf::new(b"k");
+        assert_eq!(p.eval128(b"x"), p.eval(b"x")[..16]);
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let p = Prf::new(b"secret");
+        assert!(!format!("{p:?}").contains("secret"));
+    }
+}

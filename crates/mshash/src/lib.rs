@@ -1,0 +1,256 @@
+//! # slicer-mshash
+//!
+//! The incremental multiset hash of Clarke et al. (MSet-Mu-Hash), used by
+//! Slicer to bind each keyword's result set to a single field element.
+//!
+//! `H(M) = ∏_{b ∈ B} H(b)^{M_b}` over a prime field `GF(q)`: hashing a
+//! multiset multiplies together the hash-to-field images of its elements, so
+//! the hash is
+//!
+//! * **incremental** — `H(M ∪ N) = H(M) ·_q H(N)` ([`MsetHash::combine`]),
+//! * **order-independent** — any permutation of the same multiset hashes
+//!   identically, and
+//! * **collision resistant** under the discrete-log assumption in `GF(q)`.
+//!
+//! The field modulus is a fixed 1024-bit safe prime baked into the crate
+//! (generated once for the reproduction; see `FIELD_PRIME_HEX`).
+//!
+//! # Examples
+//!
+//! ```
+//! use slicer_mshash::MsetHash;
+//!
+//! let mut h1 = MsetHash::empty();
+//! h1.insert(b"record-1");
+//! h1.insert(b"record-2");
+//!
+//! let mut h2 = MsetHash::empty();
+//! h2.insert(b"record-2");
+//! h2.insert(b"record-1");
+//!
+//! assert_eq!(h1, h2); // order independent
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use slicer_bignum::{BigUint, MontgomeryCtx};
+use slicer_crypto::sha256;
+use std::sync::OnceLock;
+
+/// Hex encoding of the 1024-bit safe prime `q` defining `GF(q)`.
+pub const FIELD_PRIME_HEX: &str = "895b5adc066c43eea6e7f77cd69c1d183edcb7e6ccb33ded38d1c1340417b168795be33eaa53607aefc524b013a93a3d304e876d789a7629c973ad19afe54e306ba5f489425aa202571abf3dfe719b651f433c8a51fdc57941faf25673df29e3f4db7ca5c3dd061d75b6e302cca68a41fda23a4cdf14db6ef3f46742715ead8b";
+
+fn field() -> &'static MontgomeryCtx {
+    static CTX: OnceLock<MontgomeryCtx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let p = BigUint::from_hex(FIELD_PRIME_HEX).expect("valid baked-in hex");
+        MontgomeryCtx::new(&p).expect("field prime is odd")
+    })
+}
+
+/// The field modulus `q`.
+pub fn field_prime() -> &'static BigUint {
+    field().modulus()
+}
+
+/// Maps arbitrary bytes to a nonzero element of `GF(q)`.
+///
+/// Expands the input with counter-separated SHA-256 blocks to 1152 bits
+/// (128 bits beyond the modulus, so the bias from the final reduction is
+/// negligible), then reduces mod `q`. Zero maps to one so every image is a
+/// unit.
+pub fn hash_to_field(data: &[u8]) -> BigUint {
+    let mut wide = Vec::with_capacity(5 * 32);
+    for counter in 0u8..5 {
+        let mut buf = Vec::with_capacity(1 + data.len());
+        buf.push(counter);
+        buf.extend_from_slice(data);
+        wide.extend_from_slice(&sha256(&buf));
+    }
+    let v = &BigUint::from_bytes_be(&wide) % field_prime();
+    if v.is_zero() {
+        BigUint::one()
+    } else {
+        v
+    }
+}
+
+/// A multiset hash value: an element of `GF(q)` with multiset semantics.
+///
+/// The empty multiset hashes to the multiplicative identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MsetHash {
+    value: BigUint,
+}
+
+impl Default for MsetHash {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl MsetHash {
+    /// The hash of the empty multiset, `H(∅) = 1`.
+    pub fn empty() -> Self {
+        MsetHash {
+            value: BigUint::one(),
+        }
+    }
+
+    /// Hash of the single-element multiset `{data}`.
+    pub fn of_element(data: &[u8]) -> Self {
+        MsetHash {
+            value: hash_to_field(data),
+        }
+    }
+
+    /// Hash of an entire multiset given by an iterator of elements.
+    pub fn of_multiset<'a, I: IntoIterator<Item = &'a [u8]>>(elements: I) -> Self {
+        let mut h = Self::empty();
+        for e in elements {
+            h.insert(e);
+        }
+        h
+    }
+
+    /// Adds one element to the multiset (`h ← h +_H H({data})`).
+    pub fn insert(&mut self, data: &[u8]) {
+        self.value = field().mul(&self.value, &hash_to_field(data));
+    }
+
+    /// Adds `count` copies of an element using one field exponentiation.
+    pub fn insert_with_multiplicity(&mut self, data: &[u8], count: u64) {
+        if count == 0 {
+            return;
+        }
+        let e = field().modpow(&hash_to_field(data), &BigUint::from(count));
+        self.value = field().mul(&self.value, &e);
+    }
+
+    /// Removes one occurrence of an element by multiplying with its field
+    /// inverse. The caller is responsible for only removing elements that
+    /// are present; removing an absent element yields the hash of a multiset
+    /// with negative multiplicity, which will not match any real set.
+    pub fn remove(&mut self, data: &[u8]) {
+        let inv = hash_to_field(data)
+            .modinv(field_prime())
+            .expect("nonzero element of a prime field is invertible");
+        self.value = field().mul(&self.value, &inv);
+    }
+
+    /// The union operator `+_H`: `H(M ∪ N) = H(M) +_H H(N)`.
+    #[must_use]
+    pub fn combine(&self, other: &MsetHash) -> MsetHash {
+        MsetHash {
+            value: field().mul(&self.value, &other.value),
+        }
+    }
+
+    /// The underlying field element.
+    pub fn value(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// Canonical byte encoding (big-endian field element, 128 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.value.to_bytes_be_padded(128)
+    }
+
+    /// Reconstructs a hash from [`MsetHash::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        MsetHash {
+            value: &BigUint::from_bytes_be(bytes) % field_prime(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_identity() {
+        let mut h = MsetHash::empty();
+        let e = MsetHash::of_element(b"x");
+        h = h.combine(&e);
+        assert_eq!(h, e);
+    }
+
+    #[test]
+    fn order_independence() {
+        let items: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d"];
+        let mut rev = items.clone();
+        rev.reverse();
+        assert_eq!(MsetHash::of_multiset(items), MsetHash::of_multiset(rev));
+    }
+
+    #[test]
+    fn multiset_not_set_semantics() {
+        // {a, a} must differ from {a}.
+        let h1 = MsetHash::of_multiset([b"a".as_slice(), b"a".as_slice()]);
+        let h2 = MsetHash::of_multiset([b"a".as_slice()]);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn union_homomorphism() {
+        let m: Vec<&[u8]> = vec![b"a", b"b"];
+        let n: Vec<&[u8]> = vec![b"c"];
+        let all: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+        assert_eq!(
+            MsetHash::of_multiset(m.clone()).combine(&MsetHash::of_multiset(n)),
+            MsetHash::of_multiset(all)
+        );
+    }
+
+    #[test]
+    fn multiplicity_fast_path_matches_repeated_insert() {
+        let mut fast = MsetHash::empty();
+        fast.insert_with_multiplicity(b"elem", 7);
+        let mut slow = MsetHash::empty();
+        for _ in 0..7 {
+            slow.insert(b"elem");
+        }
+        assert_eq!(fast, slow);
+        // Zero multiplicity is a no-op.
+        let mut zero = MsetHash::empty();
+        zero.insert_with_multiplicity(b"elem", 0);
+        assert_eq!(zero, MsetHash::empty());
+    }
+
+    #[test]
+    fn remove_inverts_insert() {
+        let mut h = MsetHash::of_multiset([b"a".as_slice(), b"b".as_slice()]);
+        h.remove(b"b");
+        assert_eq!(h, MsetHash::of_multiset([b"a".as_slice()]));
+    }
+
+    #[test]
+    fn distinct_elements_distinct_hashes() {
+        assert_ne!(MsetHash::of_element(b"a"), MsetHash::of_element(b"b"));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let h = MsetHash::of_multiset([b"x".as_slice(), b"y".as_slice()]);
+        assert_eq!(MsetHash::from_bytes(&h.to_bytes()), h);
+        assert_eq!(h.to_bytes().len(), 128);
+    }
+
+    #[test]
+    fn hash_to_field_in_range_and_nonzero() {
+        for i in 0..50u32 {
+            let v = hash_to_field(&i.to_be_bytes());
+            assert!(!v.is_zero());
+            assert!(&v < field_prime());
+        }
+    }
+
+    #[test]
+    fn field_prime_is_1024_bits() {
+        assert_eq!(field_prime().bit_len(), 1024);
+        assert!(field_prime().is_probable_prime(4));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based validation of the multiset-hash algebra.
+
+use proptest::prelude::*;
+use slicer_mshash::MsetHash;
+
+fn hash_of(items: &[Vec<u8>]) -> MsetHash {
+    MsetHash::of_multiset(items.iter().map(Vec::as_slice))
+}
+
+proptest! {
+    #[test]
+    fn permutation_invariance(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..12),
+        seed in any::<u64>(),
+    ) {
+        let mut shuffled = items.clone();
+        // Deterministic Fisher–Yates from the seed.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        prop_assert_eq!(hash_of(&items), hash_of(&shuffled));
+    }
+
+    #[test]
+    fn union_homomorphism(
+        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
+        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
+    ) {
+        let combined = hash_of(&a).combine(&hash_of(&b));
+        let mut all = a.clone();
+        all.extend(b.clone());
+        prop_assert_eq!(combined, hash_of(&all));
+    }
+
+    #[test]
+    fn insert_remove_cancel(
+        base in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
+        extra in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let original = hash_of(&base);
+        let mut h = original.clone();
+        h.insert(&extra);
+        prop_assert_ne!(&h, &original, "insertion must change the hash");
+        h.remove(&extra);
+        prop_assert_eq!(h, original);
+    }
+
+    #[test]
+    fn multiplicity_consistency(
+        elem in proptest::collection::vec(any::<u8>(), 0..8),
+        count in 0u64..20,
+    ) {
+        let mut bulk = MsetHash::empty();
+        bulk.insert_with_multiplicity(&elem, count);
+        let mut serial = MsetHash::empty();
+        for _ in 0..count {
+            serial.insert(&elem);
+        }
+        prop_assert_eq!(bulk, serial);
+    }
+
+    #[test]
+    fn extra_element_always_detected(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..8), 1..8),
+    ) {
+        // The core soundness property Algorithm 5 relies on: dropping any
+        // element changes the hash.
+        let full = hash_of(&items);
+        for skip in 0..items.len() {
+            let mut partial: Vec<Vec<u8>> = items.clone();
+            partial.remove(skip);
+            prop_assert_ne!(&hash_of(&partial), &full, "dropping item {} undetected", skip);
+        }
+    }
+}

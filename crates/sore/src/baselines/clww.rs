@@ -1,0 +1,142 @@
+//! The CLWW "practical ORE" scheme (Chenette, Lewi, Weis, Wu — FSE 2016).
+//!
+//! Each bit of the plaintext is encrypted as
+//! `u_i = (F(k, i ‖ v_{|i-1}) + v_i) mod 3`. Comparing two ciphertexts
+//! scans for the first position where `u_i` differs: if
+//! `u_i = u'_i + 1 (mod 3)` the first ciphertext's plaintext is larger.
+//! Leakage: the index of the first differing *bit* — strictly more than
+//! SORE's pairwise token/ciphertext comparison, which reveals only the
+//! order (Section VI-A).
+
+use slicer_crypto::Prf;
+use std::cmp::Ordering;
+
+/// A CLWW ORE instance for `bits`-bit plaintexts.
+///
+/// # Examples
+///
+/// ```
+/// use slicer_sore::baselines::ClwwOre;
+/// use std::cmp::Ordering;
+/// let ore = ClwwOre::new(b"key", 16);
+/// let a = ore.encrypt(100);
+/// let b = ore.encrypt(200);
+/// assert_eq!(ClwwOre::compare(&a, &b), Ordering::Less);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClwwOre {
+    prf: Prf,
+    bits: u8,
+}
+
+impl ClwwOre {
+    /// Creates an instance for `bits`-bit plaintexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 64`.
+    pub fn new(key: &[u8], bits: u8) -> Self {
+        assert!((1..=64).contains(&bits));
+        ClwwOre {
+            prf: Prf::new(key),
+            bits,
+        }
+    }
+
+    /// Plaintext bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Encrypts `v` to a vector of `b` trits (one byte each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds the domain.
+    pub fn encrypt(&self, v: u64) -> Vec<u8> {
+        assert!(
+            self.bits == 64 || v < (1u64 << self.bits),
+            "plaintext exceeds domain"
+        );
+        (1..=self.bits)
+            .map(|i| {
+                let prefix = if i == 1 { 0 } else { v >> (self.bits - i + 1) };
+                let v_i = ((v >> (self.bits - i)) & 1) as u8;
+                let mut input = Vec::with_capacity(9);
+                input.push(i);
+                input.extend_from_slice(&prefix.to_be_bytes());
+                let f = self.prf.eval(&input)[0] % 3;
+                (f + v_i) % 3
+            })
+            .collect()
+    }
+
+    /// Publicly compares two ciphertexts produced under the same key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertexts have different lengths.
+    pub fn compare(a: &[u8], b: &[u8]) -> Ordering {
+        assert_eq!(a.len(), b.len(), "ciphertexts from different widths");
+        for (x, y) in a.iter().zip(b) {
+            if x != y {
+                return if (*x + 3 - *y) % 3 == 1 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// The leakage: index of the first differing bit (None if equal) —
+    /// computable by anyone holding the two ciphertexts.
+    pub fn first_diff_index(a: &[u8], b: &[u8]) -> Option<usize> {
+        a.iter().zip(b).position(|(x, y)| x != y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn total_order_small_domain() {
+        let ore = ClwwOre::new(b"k", 6);
+        for x in 0u64..64 {
+            for y in 0u64..64 {
+                let cx = ore.encrypt(x);
+                let cy = ore.encrypt(y);
+                assert_eq!(ClwwOre::compare(&cx, &cy), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ciphertext_size_is_bit_count() {
+        let ore = ClwwOre::new(b"k", 24);
+        assert_eq!(ore.encrypt(12345).len(), 24);
+    }
+
+    #[test]
+    fn leakage_exposes_first_diff() {
+        let ore = ClwwOre::new(b"k", 8);
+        // 0b1010_0000 vs 0b1011_0000 differ first at bit index 3 (0-based).
+        let a = ore.encrypt(0b1010_0000);
+        let b = ore.encrypt(0b1011_0000);
+        assert_eq!(ClwwOre::first_diff_index(&a, &b), Some(3));
+    }
+
+    proptest! {
+        #[test]
+        fn order_matches_integers(x in any::<u32>(), y in any::<u32>()) {
+            let ore = ClwwOre::new(b"prop", 32);
+            prop_assert_eq!(
+                ClwwOre::compare(&ore.encrypt(x as u64), &ore.encrypt(y as u64)),
+                x.cmp(&y)
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline ORE schemes for ablation against SORE.
+//!
+//! The paper positions SORE against prior order-revealing encryption
+//! designs (Section II-B, Section VI-A): CLWW (Chenette–Lewi–Weis–Wu,
+//! FSE'16) and the Lewi–Wu left/right construction (CCS'16). We implement
+//! both so the benchmark harness can compare ciphertext/token sizes,
+//! comparison cost and leakage granularity (`benches/ore_ablation.rs`).
+
+mod clww;
+mod lewi_wu;
+
+pub use clww::ClwwOre;
+pub use lewi_wu::LewiWuOre;

@@ -1,0 +1,96 @@
+//! The order condition embedded in SORE tuples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An order condition `oc ∈ {">", "<"}` in the paper's `x oc y` convention
+/// (`x` = query value, `y` = data value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Order {
+    /// `x > y`: matches data values *smaller* than the query value.
+    Greater,
+    /// `x < y`: matches data values *greater* than the query value.
+    Less,
+}
+
+impl Order {
+    /// The comparison result `cmp(a, b)` between two differing bits, as an
+    /// order symbol: `cmp(1, 0) = ">"`, `cmp(0, 1) = "<"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (the construction only compares a bit with its
+    /// complement).
+    pub fn cmp_bits(a: bool, b: bool) -> Order {
+        assert_ne!(a, b, "cmp is only defined on complementary bits");
+        if a {
+            Order::Greater
+        } else {
+            Order::Less
+        }
+    }
+
+    /// Single-byte encoding used inside tuples.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Order::Greater => b'>',
+            Order::Less => b'<',
+        }
+    }
+
+    /// The opposite condition.
+    #[must_use]
+    pub fn flip(self) -> Order {
+        match self {
+            Order::Greater => Order::Less,
+            Order::Less => Order::Greater,
+        }
+    }
+
+    /// Whether `x oc y` holds for concrete integers.
+    pub fn holds(self, x: u64, y: u64) -> bool {
+        match self {
+            Order::Greater => x > y,
+            Order::Less => x < y,
+        }
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Order::Greater => ">",
+            Order::Less => "<",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_bits_convention() {
+        assert_eq!(Order::cmp_bits(true, false), Order::Greater);
+        assert_eq!(Order::cmp_bits(false, true), Order::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "complementary")]
+    fn cmp_equal_bits_panics() {
+        Order::cmp_bits(true, true);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Order::Greater.flip().flip(), Order::Greater);
+        assert_ne!(Order::Less.flip(), Order::Less);
+    }
+
+    #[test]
+    fn holds_semantics() {
+        assert!(Order::Greater.holds(6, 5));
+        assert!(!Order::Greater.holds(5, 5));
+        assert!(Order::Less.holds(4, 5));
+    }
+}

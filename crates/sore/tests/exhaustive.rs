@@ -1,0 +1,109 @@
+//! Exhaustive and statistical validation of SORE (Theorem 1 at scale).
+
+use proptest::prelude::*;
+use slicer_crypto::HmacDrbg;
+use slicer_sore::baselines::ClwwOre;
+use slicer_sore::{Order, SoreScheme};
+
+#[test]
+fn theorem1_exhaustive_6bit_both_orders() {
+    let sore = SoreScheme::new(b"exhaustive", 6);
+    let mut rng = HmacDrbg::from_u64(2);
+    // Precompute all ciphertexts once.
+    let cts: Vec<_> = (0u64..64).map(|y| sore.encrypt(y, &mut rng)).collect();
+    for x in 0u64..64 {
+        for oc in [Order::Greater, Order::Less] {
+            let tk = sore.token(x, oc, &mut rng);
+            for (y, ct) in cts.iter().enumerate() {
+                assert_eq!(
+                    SoreScheme::compare(ct, &tk),
+                    oc.holds(x, y as u64),
+                    "x={x} oc={oc} y={y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shuffle_spreads_match_position() {
+    // The matched tuple's position in the token must be (roughly) uniform
+    // across repeated tokenizations — otherwise the position would leak
+    // the first differing bit index despite the shuffle.
+    let sore = SoreScheme::new(b"stat", 8);
+    let mut rng = HmacDrbg::from_u64(3);
+    let ct = sore.encrypt(5, &mut rng);
+    let mut position_counts = [0usize; 8];
+    for _ in 0..400 {
+        let tk = sore.token(6, Order::Greater, &mut rng);
+        let hit = tk
+            .iter()
+            .position(|t| ct.contains(t))
+            .expect("6 > 5 matches");
+        position_counts[hit] += 1;
+    }
+    // Expected 50 per bucket; require every bucket populated and none
+    // hoarding more than 30%.
+    for (i, &c) in position_counts.iter().enumerate() {
+        assert!(c > 10, "position {i} starved: {position_counts:?}");
+        assert!(c < 120, "position {i} overloaded: {position_counts:?}");
+    }
+}
+
+#[test]
+fn sore_and_clww_agree_on_order() {
+    // Two independent ORE constructions must induce the same order.
+    let sore = SoreScheme::new(b"a", 12);
+    let clww = ClwwOre::new(b"b", 12);
+    let mut rng = HmacDrbg::from_u64(4);
+    for (x, y) in [(0u64, 4095u64), (100, 100), (2048, 2047), (7, 8)] {
+        let sore_gt = {
+            let tk = sore.token(x, Order::Greater, &mut rng);
+            let ct = sore.encrypt(y, &mut rng);
+            SoreScheme::compare(&ct, &tk)
+        };
+        let clww_cmp = ClwwOre::compare(&clww.encrypt(x), &clww.encrypt(y));
+        assert_eq!(sore_gt, clww_cmp == std::cmp::Ordering::Greater, "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem1_full_64bit_domain(x in any::<u64>(), y in any::<u64>()) {
+        let sore = SoreScheme::new(b"wide", 64);
+        let mut rng = HmacDrbg::from_u64(5);
+        let ct = sore.encrypt(y, &mut rng);
+        for oc in [Order::Greater, Order::Less] {
+            let tk = sore.token(x, oc, &mut rng);
+            prop_assert_eq!(SoreScheme::compare(&ct, &tk), oc.holds(x, y));
+        }
+    }
+
+    #[test]
+    fn multi_attribute_never_cross_matches(
+        x in any::<u16>(),
+        y in any::<u16>(),
+        attr_a in "[a-z]{1,8}",
+        attr_b in "[a-z]{1,8}",
+    ) {
+        prop_assume!(attr_a != attr_b);
+        let sore = SoreScheme::new(b"attrs", 16);
+        let mut rng = HmacDrbg::from_u64(6);
+        let ct = sore.encrypt_with_attr(attr_a.as_bytes(), y as u64, &mut rng);
+        let tk = sore.token_with_attr(attr_b.as_bytes(), x as u64, Order::Greater, &mut rng);
+        prop_assert!(!SoreScheme::compare(&ct, &tk));
+    }
+
+    #[test]
+    fn tokens_of_same_value_same_oc_are_equal_as_sets(v in any::<u32>()) {
+        let sore = SoreScheme::new(b"sets", 32);
+        let mut rng = HmacDrbg::from_u64(7);
+        let t1 = sore.token(v as u64, Order::Less, &mut rng);
+        let t2 = sore.token(v as u64, Order::Less, &mut rng);
+        let s1: std::collections::HashSet<_> = t1.into_iter().collect();
+        let s2: std::collections::HashSet<_> = t2.into_iter().collect();
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,146 @@
+//! The history-independent encrypted index `I`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Width of an index label `l = F(G1, t ‖ c)` (a full PRF output).
+pub const INDEX_LABEL_LEN: usize = 32;
+
+/// An index label.
+pub type IndexLabel = [u8; INDEX_LABEL_LEN];
+
+/// Error raised when the owner ships a label that already exists — labels
+/// are PRF outputs over unique `(trapdoor, counter)` pairs, so a collision
+/// indicates either corruption or a misbehaving owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateLabelError {
+    label: IndexLabel,
+}
+
+impl fmt::Display for DuplicateLabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "index label {:02x}{:02x}… already present",
+            self.label[0], self.label[1]
+        )
+    }
+}
+
+impl Error for DuplicateLabelError {}
+
+/// The encrypted index: an unordered dictionary from PRF labels to masked
+/// record ciphertexts `d = F(G2, t‖c) ⊕ Enc(K_R, R)`.
+///
+/// Backed by a hash map, which is *history independent* in the sense
+/// relevant to Section VI-A: lookups reveal nothing about insertion order,
+/// and the server only ever addresses entries through PRF labels it derives
+/// from search tokens.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EncryptedIndex {
+    entries: HashMap<IndexLabel, Vec<u8>>,
+    value_bytes: usize,
+}
+
+impl EncryptedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `label → data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateLabelError`] if the label is already present.
+    pub fn put(&mut self, label: IndexLabel, data: Vec<u8>) -> Result<(), DuplicateLabelError> {
+        if self.entries.contains_key(&label) {
+            return Err(DuplicateLabelError { label });
+        }
+        self.value_bytes += data.len();
+        self.entries.insert(label, data);
+        Ok(())
+    }
+
+    /// Looks up a label (`I.find(l)` / `I.get(l)` in Algorithm 4).
+    pub fn get(&self, label: &IndexLabel) -> Option<&[u8]> {
+        self.entries.get(label).map(Vec::as_slice)
+    }
+
+    /// Whether a label exists.
+    pub fn contains(&self, label: &IndexLabel) -> bool {
+        self.entries.contains_key(label)
+    }
+
+    /// Number of entries `p`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges a batch of new entries (the `Insert` protocol's index delta).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first duplicate label encountered; entries before the
+    /// failure remain applied (the protocol treats this as fatal corruption
+    /// and re-syncs).
+    pub fn extend(
+        &mut self,
+        batch: impl IntoIterator<Item = (IndexLabel, Vec<u8>)>,
+    ) -> Result<(), DuplicateLabelError> {
+        for (l, d) in batch {
+            self.put(l, d)?;
+        }
+        Ok(())
+    }
+
+    /// Storage footprint in bytes (labels + stored values).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * INDEX_LABEL_LEN + self.value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut idx = EncryptedIndex::new();
+        idx.put([7u8; 32], vec![1, 2, 3]).unwrap();
+        assert_eq!(idx.get(&[7u8; 32]), Some([1, 2, 3].as_slice()));
+        assert_eq!(idx.get(&[8u8; 32]), None);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut idx = EncryptedIndex::new();
+        idx.put([7u8; 32], vec![1]).unwrap();
+        let err = idx.put([7u8; 32], vec![2]).unwrap_err();
+        assert!(err.to_string().contains("already present"));
+        // Original value untouched.
+        assert_eq!(idx.get(&[7u8; 32]), Some([1].as_slice()));
+    }
+
+    #[test]
+    fn size_tracks_labels_and_values() {
+        let mut idx = EncryptedIndex::new();
+        idx.put([1u8; 32], vec![0u8; 48]).unwrap();
+        idx.put([2u8; 32], vec![0u8; 48]).unwrap();
+        assert_eq!(idx.size_bytes(), 2 * (32 + 48));
+    }
+
+    #[test]
+    fn extend_batch() {
+        let mut idx = EncryptedIndex::new();
+        idx.extend((0u8..10).map(|i| ([i; 32], vec![i]))).unwrap();
+        assert_eq!(idx.len(), 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! # slicer-store
+//!
+//! Cloud-side storage for the Slicer protocol: the encrypted index `I`, the
+//! prime list `X` and the cached accumulation value `Ac` that the data owner
+//! ships to the cloud in Algorithms 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod index;
+mod primes;
+
+pub use index::{DuplicateLabelError, EncryptedIndex, IndexLabel, INDEX_LABEL_LEN};
+pub use primes::PrimeList;
+
+use serde::{Deserialize, Serialize};
+use slicer_bignum::BigUint;
+
+/// Everything the cloud persists for one Slicer instance.
+///
+/// # Examples
+///
+/// ```
+/// use slicer_store::CloudState;
+/// let state = CloudState::new();
+/// assert_eq!(state.index.len(), 0);
+/// assert_eq!(state.primes.len(), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CloudState {
+    /// The encrypted index `I` (label → masked record ciphertext).
+    pub index: EncryptedIndex,
+    /// The prime list `X` backing witness generation.
+    pub primes: PrimeList,
+    /// The latest accumulation value `Ac` (mirrors the on-chain digest).
+    pub accumulator: Option<BigUint>,
+}
+
+impl CloudState {
+    /// An empty cloud state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total storage footprint in bytes (index entries + prime list),
+    /// the quantity plotted in Fig. 4.
+    pub fn storage_bytes(&self) -> usize {
+        self.index.size_bytes() + self.primes.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_accounts_both_components() {
+        let mut s = CloudState::new();
+        s.index.put([1u8; 32], vec![0u8; 32]).unwrap();
+        s.primes.push(BigUint::from(97u64));
+        // 32-byte label + 32-byte value + 1-byte prime.
+        assert_eq!(s.storage_bytes(), 65);
+    }
+}

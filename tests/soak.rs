@@ -1,0 +1,65 @@
+//! Soak test: a longer randomized lifecycle on a single deployment —
+//! interleaved inserts and verified searches at 16-bit, with the oracle
+//! checked at every step and chain integrity at the end.
+
+use slicer_core::{Query, RecordId, SlicerConfig, SlicerSystem};
+use slicer_workload::splitmix_stream;
+use rand::RngCore;
+
+#[test]
+fn interleaved_16bit_lifecycle() {
+    let mut sys = SlicerSystem::setup(SlicerConfig::test_16bit(), 99);
+    let mut rng = splitmix_stream(2026);
+    let mut model: Vec<(u64, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    // Initial build.
+    let initial: Vec<(RecordId, u64)> = (0..120)
+        .map(|_| {
+            let id = next_id;
+            next_id += 1;
+            (RecordId::from_u64(id), rng.next_u64() % 65_536)
+        })
+        .collect();
+    model.extend(initial.iter().map(|(id, v)| (id.as_u64().unwrap(), *v)));
+    sys.build(&initial).expect("16-bit domain");
+
+    for step in 0..10 {
+        // Insert a small batch.
+        let batch: Vec<(RecordId, u64)> = (0..10)
+            .map(|_| {
+                let id = next_id;
+                next_id += 1;
+                (RecordId::from_u64(id), rng.next_u64() % 65_536)
+            })
+            .collect();
+        model.extend(batch.iter().map(|(id, v)| (id.as_u64().unwrap(), *v)));
+        sys.insert(&batch).expect("16-bit domain");
+
+        // Verified search around a random pivot drawn from the data.
+        let pivot = model[(rng.next_u64() % model.len() as u64) as usize].1;
+        let q = if step % 2 == 0 {
+            Query::less_than(pivot)
+        } else {
+            Query::greater_than(pivot)
+        };
+        let out = sys.search(&q, 50).expect("workflow runs");
+        assert!(out.verified, "step {step}");
+
+        let mut got: Vec<u64> = out.records.iter().map(|r| r.as_u64().unwrap()).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = model
+            .iter()
+            .filter(|(_, v)| q.matches(*v))
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "step {step} query {q:?}");
+    }
+
+    assert!(sys.chain().verify_chain());
+    // Every settlement in this run was honest: all Settled events carry 1.
+    let settled = sys.chain().logs_by_topic("Settled");
+    assert_eq!(settled.len(), 10);
+    assert!(settled.iter().all(|l| *l.data.last().unwrap() == 1));
+}
