@@ -86,7 +86,9 @@ mod tests {
     use crate::hash_to_prime;
 
     fn primes(n: u32) -> Vec<BigUint> {
-        (0..n).map(|i| hash_to_prime(&i.to_be_bytes(), 64)).collect()
+        (0..n)
+            .map(|i| hash_to_prime(&i.to_be_bytes(), 64))
+            .collect()
     }
 
     #[test]

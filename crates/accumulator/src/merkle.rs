@@ -68,8 +68,14 @@ impl MerkleTree {
     /// Panics on an empty leaf set (an empty ADS commits to nothing; use a
     /// sentinel leaf if needed).
     pub fn build<D: AsRef<[u8]>>(leaves: &[D]) -> Self {
-        assert!(!leaves.is_empty(), "cannot build a Merkle tree over nothing");
-        let mut levels = vec![leaves.iter().map(|l| leaf_digest(l.as_ref())).collect::<Vec<_>>()];
+        assert!(
+            !leaves.is_empty(),
+            "cannot build a Merkle tree over nothing"
+        );
+        let mut levels = vec![leaves
+            .iter()
+            .map(|l| leaf_digest(l.as_ref()))
+            .collect::<Vec<_>>()];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -196,7 +202,10 @@ mod tests {
         let large = MerkleTree::build(&leaves(4096)).prove(0);
         assert_eq!(small.siblings.len(), 4);
         assert_eq!(large.siblings.len(), 12);
-        assert!(large.size_bytes() > 64, "beyond n=16 the Merkle proof outgrows the accumulator witness");
+        assert!(
+            large.size_bytes() > 64,
+            "beyond n=16 the Merkle proof outgrows the accumulator witness"
+        );
     }
 
     #[test]

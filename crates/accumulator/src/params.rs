@@ -1,8 +1,8 @@
 //! RSA accumulator public parameters (`Setup(1^λ)`).
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
 use slicer_bignum::{gen_safe_prime, random_below, BigUint, MontgomeryCtx};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
+use slicer_crypto::Rng;
 
 /// Fixed 512-bit modulus: product of two 256-bit safe primes generated once
 /// for the reproduction (factors discarded). 512 bits makes each witness 64
@@ -17,12 +17,34 @@ const N1024_HEX: &str = "bb4e6da51c76d10262e609238711c6438bbed174037683196828e14
 ///
 /// The Montgomery context for `n` is precomputed once and shared by every
 /// accumulation, witness and verification operation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RsaParams {
     modulus: BigUint,
     generator: BigUint,
-    #[serde(skip, default)]
     ctx: Option<MontgomeryCtx>,
+}
+
+impl Encode for RsaParams {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.modulus.encode(out);
+        self.generator.encode(out);
+    }
+}
+
+impl Decode for RsaParams {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let modulus = BigUint::decode(reader)?;
+        let generator = BigUint::decode(reader)?;
+        // Rebuild the Montgomery context eagerly so decoded params are
+        // immediately usable; an even modulus means corrupt input.
+        let ctx = MontgomeryCtx::new(&modulus)
+            .ok_or_else(|| CodecError::msg("RsaParams modulus must be odd and > 1"))?;
+        Ok(RsaParams {
+            modulus,
+            generator,
+            ctx: Some(ctx),
+        })
+    }
 }
 
 impl PartialEq for RsaParams {
@@ -73,7 +95,7 @@ impl RsaParams {
     /// # Panics
     ///
     /// Panics if `bits < 32`.
-    pub fn generate<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> Self {
+    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Self {
         assert!(bits >= 32, "modulus below 32 bits is meaningless");
         let p = gen_safe_prime(bits / 2, rng);
         let q = loop {
@@ -111,16 +133,13 @@ impl RsaParams {
 
     /// Montgomery context for the modulus.
     pub fn ctx(&self) -> &MontgomeryCtx {
-        // `ctx` is only `None` after deserialization; rebuild lazily is not
-        // possible through a shared reference, so deserialized params are
-        // re-validated through `restore_ctx` by callers. For ergonomic use
-        // we keep construction paths always populating it.
-        self.ctx
-            .as_ref()
-            .expect("params deserialized without calling restore_ctx")
+        // Every construction path — `from_parts`, the fixtures, `generate`
+        // and `Decode` — populates the context, so this cannot fail.
+        self.ctx.as_ref().expect("ctx populated on construction")
     }
 
-    /// Rebuilds the Montgomery context after deserialization.
+    /// Rebuilds the Montgomery context if absent. Decoding already restores
+    /// it; this remains for callers that construct params by other means.
     pub fn restore_ctx(&mut self) {
         if self.ctx.is_none() {
             self.ctx = Some(MontgomeryCtx::new(&self.modulus).expect("odd modulus"));
@@ -136,8 +155,7 @@ impl RsaParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slicer_crypto::HmacDrbg;
 
     #[test]
     fn fixed_params_shape() {
@@ -157,7 +175,7 @@ mod tests {
 
     #[test]
     fn generate_small_setup() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = HmacDrbg::from_u64(5);
         let p = RsaParams::generate(128, &mut rng);
         // Product of two 64-bit primes has 127 or 128 bits.
         assert!((127..=128).contains(&p.modulus().bit_len()));
@@ -165,6 +183,18 @@ mod tests {
         assert!(!p.generator().is_zero());
         assert!(!p.generator().is_one());
         assert!(p.generator() < p.modulus());
+    }
+
+    #[test]
+    fn codec_roundtrip_restores_ctx() {
+        let p = RsaParams::fixed_512();
+        let bytes = slicer_crypto::codec::to_bytes(&p).unwrap();
+        let q: RsaParams = slicer_crypto::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+        // Decoded params are immediately usable (ctx rebuilt).
+        let b = BigUint::from(7u64);
+        let e = BigUint::from(3u64);
+        assert_eq!(q.powmod(&b, &e), p.powmod(&b, &e));
     }
 
     #[test]

@@ -2,113 +2,92 @@
 //! root-factor) and accumulation itself — the design choice behind
 //! Fig. 5b/5d's VO-generation curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slicer_accumulator::{hash_to_prime, witness, Accumulator, RsaParams, WitnessCache};
 use slicer_bignum::BigUint;
+use slicer_testkit::bench::{black_box, Bench};
 
 fn primes(n: u32) -> Vec<BigUint> {
-    (0..n).map(|i| hash_to_prime(&i.to_be_bytes(), 128)).collect()
+    (0..n)
+        .map(|i| hash_to_prime(&i.to_be_bytes(), 128))
+        .collect()
 }
 
-fn bench_ads(c: &mut Criterion) {
+fn main() {
     let params = RsaParams::fixed_512();
-    let mut group = c.benchmark_group("ads_ablation");
-    group.sample_size(10);
+    let mut group = Bench::new("ads_ablation");
 
     for q in [200u32, 800] {
         let ps = primes(q);
-        group.bench_with_input(BenchmarkId::new("accumulate", q), &ps, |b, ps| {
-            b.iter(|| Accumulator::over(&params, ps));
+        group.run(&format!("accumulate/{q}"), || {
+            black_box(Accumulator::over(&params, &ps));
         });
-        group.bench_with_input(BenchmarkId::new("witness_direct_x1", q), &ps, |b, ps| {
-            b.iter(|| witness::membership_witness(&params, ps, 0));
+        group.run(&format!("witness_direct_x1/{q}"), || {
+            black_box(witness::membership_witness(&params, &ps, 0));
         });
         // 16 slices of an order query: direct does 16 full folds, batched
         // shares the complement fold.
         let targets: Vec<usize> = (0..16).map(|i| i * (q as usize / 16)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("witness_direct_x16", q),
-            &ps,
-            |b, ps| {
-                b.iter(|| {
-                    targets
-                        .iter()
-                        .map(|&t| witness::membership_witness(&params, ps, t))
-                        .collect::<Vec<_>>()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("witness_batched_x16", q),
-            &ps,
-            |b, ps| {
-                b.iter(|| witness::witness_batch(&params, ps, &targets));
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("root_factor_all", q), &ps, |b, ps| {
-            b.iter(|| witness::root_factor(&params, params.generator(), ps));
+        group.run(&format!("witness_direct_x16/{q}"), || {
+            black_box(
+                targets
+                    .iter()
+                    .map(|&t| witness::membership_witness(&params, &ps, t))
+                    .collect::<Vec<_>>(),
+            );
+        });
+        group.run(&format!("witness_batched_x16/{q}"), || {
+            black_box(witness::witness_batch(&params, &ps, &targets));
+        });
+        group.run(&format!("root_factor_all/{q}"), || {
+            black_box(witness::root_factor(&params, params.generator(), &ps));
         });
         // Witness cache: build once, then per-query cost is a lookup; an
         // insert-batch update costs q short exponentiations.
-        group.bench_with_input(BenchmarkId::new("witness_cache_build", q), &ps, |b, ps| {
-            b.iter(|| WitnessCache::build(&params, ps));
+        group.run(&format!("witness_cache_build/{q}"), || {
+            black_box(WitnessCache::build(&params, &ps));
         });
-        group.bench_with_input(BenchmarkId::new("witness_cache_update16", q), &ps, |b, ps| {
+        {
             let extra: Vec<BigUint> = (10_000..10_016u32)
                 .map(|i| hash_to_prime(&i.to_be_bytes(), 128))
                 .collect();
-            let cache = WitnessCache::build(&params, ps);
+            let cache = WitnessCache::build(&params, &ps);
             let mut full = ps.to_vec();
             full.extend(extra);
-            b.iter_batched(
+            group.run_batched(
+                &format!("witness_cache_update16/{q}"),
                 || cache.clone(),
-                |mut c| c.update(&params, &full),
-                criterion::BatchSize::LargeInput,
+                |mut c| {
+                    c.update(&params, &full);
+                    black_box(&c);
+                },
             );
-        });
+        }
 
         // Verification (the contract-side cost): constant regardless of q.
         let acc = Accumulator::over(&params, &ps);
         let w = witness::membership_witness(&params, &ps, 0);
-        group.bench_with_input(BenchmarkId::new("verify", q), &ps, |b, ps| {
-            b.iter(|| {
-                assert!(witness::verify_membership(&params, &ps[0], &w, acc.value()));
-            });
+        group.run(&format!("verify/{q}"), || {
+            assert!(witness::verify_membership(&params, &ps[0], &w, acc.value()));
         });
 
         // Merkle-tree baseline (Section III-B's point of comparison):
         // cheaper to build and verify off-chain, but O(log n) proof size
         // and position leakage.
         let leaves: Vec<Vec<u8>> = ps.iter().map(|p| p.to_bytes_be()).collect();
-        group.bench_with_input(BenchmarkId::new("merkle_build", q), &leaves, |b, l| {
-            b.iter(|| slicer_accumulator::merkle::MerkleTree::build(l));
+        group.run(&format!("merkle_build/{q}"), || {
+            black_box(slicer_accumulator::merkle::MerkleTree::build(&leaves));
         });
         let tree = slicer_accumulator::merkle::MerkleTree::build(&leaves);
-        group.bench_with_input(BenchmarkId::new("merkle_prove", q), &tree, |b, t| {
-            b.iter(|| t.prove(0));
+        group.run(&format!("merkle_prove/{q}"), || {
+            black_box(tree.prove(0));
         });
         let proof = tree.prove(0);
-        group.bench_with_input(BenchmarkId::new("merkle_verify", q), &leaves, |b, l| {
-            b.iter(|| {
-                assert!(slicer_accumulator::merkle::MerkleTree::verify(
-                    &tree.root(),
-                    &l[0],
-                    &proof
-                ));
-            });
+        group.run(&format!("merkle_verify/{q}"), || {
+            assert!(slicer_accumulator::merkle::MerkleTree::verify(
+                &tree.root(),
+                &leaves[0],
+                &proof
+            ));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_ads
-}
-criterion_main!(benches);

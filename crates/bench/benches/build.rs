@@ -1,8 +1,8 @@
-//! Criterion micro-benchmark behind Fig. 3 / Fig. 4: `Build` cost per
-//! record count and bit width.
+//! Micro-benchmark behind Fig. 3 / Fig. 4: `Build` cost per record count
+//! and bit width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slicer_core::{DataOwner, RecordId, SlicerConfig};
+use slicer_testkit::bench::{black_box, Bench};
 use slicer_workload::DatasetSpec;
 
 fn dataset(n: usize, bits: u8) -> Vec<(RecordId, u64)> {
@@ -13,35 +13,15 @@ fn dataset(n: usize, bits: u8) -> Vec<(RecordId, u64)> {
         .collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("build");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bench::new("build");
     for bits in [8u8, 16] {
         for n in [500usize, 1_000, 2_000] {
             let db = dataset(n, bits);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{bits}bit"), n),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        let mut owner = DataOwner::new(SlicerConfig::with_bits(bits), 1);
-                        owner.build(db).expect("in-domain")
-                    });
-                },
-            );
+            group.run(&format!("{bits}bit/{n}"), || {
+                let mut owner = DataOwner::new(SlicerConfig::with_bits(bits), 1);
+                black_box(owner.build(&db).expect("in-domain"));
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_build
-}
-criterion_main!(benches);

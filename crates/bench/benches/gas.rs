@@ -1,26 +1,25 @@
-//! Criterion micro-benchmark behind Table II: wall-clock cost of the three
-//! contract operations (the gas *units* themselves are reported by the
+//! Micro-benchmark behind Table II: wall-clock cost of the three contract
+//! operations (the gas *units* themselves are reported by the
 //! `repro --experiment table2` driver; this bench tracks the simulator's
 //! execution cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slicer_chain::{Address, Blockchain, SlicerContract};
 use slicer_core::{Query, RecordId, SlicerConfig, SlicerSystem};
+use slicer_testkit::bench::{black_box, Bench};
 use slicer_workload::DatasetSpec;
 
-fn bench_gas_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gas");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bench::new("gas");
 
-    group.bench_function("deploy", |b| {
-        b.iter(|| {
-            let mut chain = Blockchain::new();
-            let d = Address::from_byte(1);
-            chain.create_account(d, 1);
+    group.run("deploy", || {
+        let mut chain = Blockchain::new();
+        let d = Address::from_byte(1);
+        chain.create_account(d, 1);
+        black_box(
             chain
                 .deploy_contract(d, Box::new(SlicerContract::fixed_512()), 0)
-                .expect("funded")
-        });
+                .expect("funded"),
+        );
     });
 
     let db: Vec<(RecordId, u64)> = DatasetSpec::uniform(300, 8, 1)
@@ -30,37 +29,26 @@ fn bench_gas_ops(c: &mut Criterion) {
         .collect();
     let probe = db[0].1;
 
-    group.bench_function("insert_tx", |b| {
+    {
         let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 1);
         sys.build(&db).expect("in-domain");
         let mut next = 1_000_000u64;
-        b.iter(|| {
+        group.run("insert_tx", || {
             next += 1;
-            sys.insert(&[(RecordId::from_u64(next), 9)]).expect("in-domain")
+            black_box(
+                sys.insert(&[(RecordId::from_u64(next), 9)])
+                    .expect("in-domain"),
+            );
         });
-    });
+    }
 
-    group.bench_function("verify_tx", |b| {
+    {
         let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 1);
         sys.build(&db).expect("in-domain");
-        b.iter(|| {
+        group.run("verify_tx", || {
             let out = sys.search(&Query::equal(probe), 10).expect("search runs");
             assert!(out.verified);
-            out
+            black_box(out);
         });
-    });
-
-    group.finish();
+    }
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_gas_ops
-}
-criterion_main!(benches);

@@ -1,60 +1,36 @@
-//! Criterion micro-benchmark behind Fig. 7: forward-secure insertion after
-//! a preload.
+//! Micro-benchmark behind Fig. 7: forward-secure insertion after a preload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slicer_core::{DataOwner, RecordId, SlicerConfig};
+use slicer_testkit::bench::{black_box, Bench};
 use slicer_workload::DatasetSpec;
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("insert");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bench::new("insert");
     for bits in [8u8, 16] {
         for batch in [50usize, 200] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{bits}bit"), batch),
-                &batch,
-                |b, &batch| {
-                    b.iter_batched(
-                        || {
-                            // Preloaded owner + fresh insert batch.
-                            let preload: Vec<(RecordId, u64)> =
-                                DatasetSpec::uniform(1_000, bits, 1)
-                                    .generate()
-                                    .into_iter()
-                                    .map(|(id, v)| (RecordId(id), v))
-                                    .collect();
-                            let mut owner =
-                                DataOwner::new(SlicerConfig::with_bits(bits), 1);
-                            owner.build(&preload).expect("in-domain");
-                            let inserts: Vec<(RecordId, u64)> =
-                                DatasetSpec::uniform(batch, bits, 2)
-                                    .generate()
-                                    .into_iter()
-                                    .enumerate()
-                                    .map(|(i, (_, v))| {
-                                        (RecordId::from_u64(1_000_000 + i as u64), v)
-                                    })
-                                    .collect();
-                            (owner, inserts)
-                        },
-                        |(mut owner, inserts)| owner.insert(&inserts).expect("in-domain"),
-                        criterion::BatchSize::LargeInput,
-                    );
+            group.run_batched(
+                &format!("{bits}bit/{batch}"),
+                || {
+                    // Preloaded owner + fresh insert batch.
+                    let preload: Vec<(RecordId, u64)> = DatasetSpec::uniform(1_000, bits, 1)
+                        .generate()
+                        .into_iter()
+                        .map(|(id, v)| (RecordId(id), v))
+                        .collect();
+                    let mut owner = DataOwner::new(SlicerConfig::with_bits(bits), 1);
+                    owner.build(&preload).expect("in-domain");
+                    let inserts: Vec<(RecordId, u64)> = DatasetSpec::uniform(batch, bits, 2)
+                        .generate()
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (_, v))| (RecordId::from_u64(1_000_000 + i as u64), v))
+                        .collect();
+                    (owner, inserts)
+                },
+                |(mut owner, inserts)| {
+                    black_box(owner.insert(&inserts).expect("in-domain"));
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_insert
-}
-criterion_main!(benches);

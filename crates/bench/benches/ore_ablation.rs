@@ -2,69 +2,56 @@
 //! comparison cost, plus ciphertext sizes (reported as throughput here;
 //! sizes are asserted in the `ore_sizes` integration test).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slicer_crypto::HmacDrbg;
 use slicer_sore::baselines::{ClwwOre, LewiWuOre};
 use slicer_sore::{Order, SoreScheme};
+use slicer_testkit::bench::{black_box, Bench};
 
 const BITS: u8 = 16;
 
-fn bench_ore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ore_ablation");
+fn main() {
+    let mut group = Bench::new("ore_ablation");
     let sore = SoreScheme::new(b"key", BITS);
     let clww = ClwwOre::new(b"key", BITS);
     let lw = LewiWuOre::new(b"key", BITS, 4);
     let mut rng = HmacDrbg::from_u64(1);
 
-    group.bench_function("sore/encrypt", |b| {
-        b.iter(|| sore.encrypt(12_345, &mut rng));
+    group.run("sore/encrypt", || {
+        black_box(sore.encrypt(12_345, &mut rng));
     });
-    group.bench_function("sore/token", |b| {
-        b.iter(|| sore.token(12_345, Order::Greater, &mut rng));
+    group.run("sore/token", || {
+        black_box(sore.token(12_345, Order::Greater, &mut rng));
     });
     {
         let ct = sore.encrypt(10_000, &mut rng);
         let tk = sore.token(20_000, Order::Greater, &mut rng);
-        group.bench_function("sore/compare", |b| {
-            b.iter(|| SoreScheme::compare(&ct, &tk));
+        group.run("sore/compare", || {
+            black_box(SoreScheme::compare(&ct, &tk));
         });
     }
 
-    group.bench_function("clww/encrypt", |b| {
-        b.iter(|| clww.encrypt(12_345));
+    group.run("clww/encrypt", || {
+        black_box(clww.encrypt(12_345));
     });
     {
         let a = clww.encrypt(10_000);
         let bb = clww.encrypt(20_000);
-        group.bench_function("clww/compare", |b| {
-            b.iter(|| ClwwOre::compare(&a, &bb));
+        group.run("clww/compare", || {
+            black_box(ClwwOre::compare(&a, &bb));
         });
     }
 
-    group.bench_function("lewi_wu/encrypt_right", |b| {
-        b.iter(|| lw.encrypt_right(12_345));
+    group.run("lewi_wu/encrypt_right", || {
+        black_box(lw.encrypt_right(12_345));
     });
-    group.bench_function("lewi_wu/encrypt_left", |b| {
-        b.iter(|| lw.encrypt_left(12_345));
+    group.run("lewi_wu/encrypt_left", || {
+        black_box(lw.encrypt_left(12_345));
     });
     {
         let left = lw.encrypt_left(10_000);
         let right = lw.encrypt_right(20_000);
-        group.bench_function("lewi_wu/compare", |b| {
-            b.iter(|| lw.compare_indexed(10_000, &left, &right));
+        group.run("lewi_wu/compare", || {
+            black_box(lw.compare_indexed(10_000, &left, &right));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_ore
-}
-criterion_main!(benches);

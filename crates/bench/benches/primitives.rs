@@ -1,64 +1,49 @@
-//! Substrate throughput: the from-scratch crypto and bignum primitives
-//! every protocol operation sits on.
+//! Micro-benchmark: substrate throughput — the from-scratch crypto and
+//! bignum primitives every protocol operation sits on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use slicer_bignum::BigUint;
 use slicer_crypto::aes::Aes128;
 use slicer_crypto::{hmac_sha256, sha256};
 use slicer_mshash::MsetHash;
+use slicer_testkit::bench::{black_box, Bench};
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
+fn main() {
+    let mut group = Bench::new("primitives");
 
     let data_1k = vec![0xABu8; 1024];
-    group.throughput(Throughput::Bytes(1024));
-    group.bench_function("sha256/1KiB", |b| {
-        b.iter(|| sha256(&data_1k));
+    group.run_throughput("sha256/1KiB", 1024, || {
+        black_box(sha256(&data_1k));
     });
-    group.bench_function("hmac_sha256/1KiB", |b| {
-        b.iter(|| hmac_sha256(b"key", &data_1k));
+    group.run_throughput("hmac_sha256/1KiB", 1024, || {
+        black_box(hmac_sha256(b"key", &data_1k));
     });
-    group.bench_function("aes128_ctr/1KiB", |b| {
-        let cipher = Aes128::new(&[7u8; 16]);
-        let mut buf = data_1k.clone();
-        b.iter(|| cipher.ctr_xor(&[1u8; 16], &mut buf));
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut buf = data_1k.clone();
+    group.run_throughput("aes128_ctr/1KiB", 1024, || {
+        cipher.ctr_xor(&[1u8; 16], &mut buf);
+        black_box(buf[0]);
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("bignum");
+    let mut group = Bench::new("bignum");
     let n512 = slicer_accumulator::RsaParams::fixed_512();
     let base = BigUint::from(123_456_789u64);
     let exp128 = BigUint::from_hex("ffffffffffffffffffffffffffffffff").expect("hex");
-    group.bench_function("modpow_512_e128", |b| {
-        b.iter(|| n512.powmod(&base, &exp128));
+    group.run("modpow_512_e128", || {
+        black_box(n512.powmod(&base, &exp128));
     });
     let a = &BigUint::one() << 2048;
     let bb = &(&BigUint::one() << 2047) + &BigUint::from(12345u64);
-    group.bench_function("mul_2048x2048", |b| {
-        b.iter(|| &a * &bb);
+    group.run("mul_2048x2048", || {
+        black_box(&a * &bb);
     });
-    group.bench_function("div_4096_by_2048", |b| {
-        let big = &a * &a;
-        b.iter(|| big.div_rem(&bb));
+    let big = &a * &a;
+    group.run("div_4096_by_2048", || {
+        black_box(big.div_rem(&bb));
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("mshash");
-    group.bench_function("insert", |b| {
-        let mut h = MsetHash::empty();
-        b.iter(|| h.insert(b"a 32-byte encrypted record id..."));
+    let mut group = Bench::new("mshash");
+    let mut h = MsetHash::empty();
+    group.run("insert", || {
+        h.insert(b"a 32-byte encrypted record id...");
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_primitives
-}
-criterion_main!(benches);

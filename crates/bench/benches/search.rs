@@ -1,8 +1,8 @@
-//! Criterion micro-benchmark behind Fig. 5 / Fig. 6: equality vs order
-//! search, result generation vs VO generation.
+//! Micro-benchmark behind Fig. 5 / Fig. 6: equality vs order search,
+//! result generation vs VO generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slicer_core::{CloudServer, DataOwner, Query, RecordId, SlicerConfig, WitnessStrategy};
+use slicer_testkit::bench::{black_box, Bench};
 use slicer_workload::DatasetSpec;
 
 fn setup(n: usize, bits: u8) -> (DataOwner, CloudServer, u64) {
@@ -22,42 +22,28 @@ fn setup(n: usize, bits: u8) -> (DataOwner, CloudServer, u64) {
     (owner, cloud, probe)
 }
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("search");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bench::new("search");
     for bits in [8u8, 16] {
         let (owner, mut cloud, probe) = setup(2_000, bits);
 
         let eq_tokens = owner.search_tokens(&Query::equal(probe));
-        group.bench_function(BenchmarkId::new("equality/results", bits), |b| {
-            b.iter(|| cloud.search(&eq_tokens));
+        group.run(&format!("equality/results/{bits}"), || {
+            black_box(cloud.search(&eq_tokens));
         });
         let eq_results = cloud.search(&eq_tokens);
-        group.bench_function(BenchmarkId::new("equality/vo", bits), |b| {
-            b.iter(|| cloud.prove(&eq_results));
+        group.run(&format!("equality/vo/{bits}"), || {
+            black_box(cloud.prove(&eq_results));
         });
 
         let ord_tokens = owner.search_tokens(&Query::less_than(probe));
-        group.bench_function(BenchmarkId::new("order/results", bits), |b| {
-            b.iter(|| cloud.search(&ord_tokens));
+        group.run(&format!("order/results/{bits}"), || {
+            black_box(cloud.search(&ord_tokens));
         });
         let ord_results = cloud.search(&ord_tokens);
         cloud.set_strategy(WitnessStrategy::Batched);
-        group.bench_function(BenchmarkId::new("order/vo_batched", bits), |b| {
-            b.iter(|| cloud.prove(&ord_results));
+        group.run(&format!("order/vo_batched/{bits}"), || {
+            black_box(cloud.prove(&ord_results));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_search
-}
-criterion_main!(benches);

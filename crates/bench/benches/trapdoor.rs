@@ -2,39 +2,26 @@
 //! count `j` grows (the cloud pays one public-permutation application per
 //! generation during search).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slicer_crypto::HmacDrbg;
+use slicer_testkit::bench::{black_box, Bench};
 use slicer_trapdoor::TrapdoorKeyPair;
 
-fn bench_trapdoor(c: &mut Criterion) {
+fn main() {
     let kp = TrapdoorKeyPair::fixed_test();
     let mut rng = HmacDrbg::from_u64(1);
     let t0 = kp.public().random_trapdoor(&mut rng);
 
-    let mut group = c.benchmark_group("trapdoor");
-    group.bench_function("owner_invert", |b| {
-        b.iter(|| kp.invert(&t0));
+    let mut group = Bench::new("trapdoor");
+    group.run("owner_invert", || {
+        black_box(kp.invert(&t0));
     });
-    group.bench_function("cloud_forward", |b| {
-        b.iter(|| kp.public().forward(&t0));
+    group.run("cloud_forward", || {
+        black_box(kp.public().forward(&t0));
     });
     for j in [1u64, 8, 64] {
         let tj = kp.walk_back(&t0, j);
-        group.bench_with_input(BenchmarkId::new("cloud_walk", j), &j, |b, &j| {
-            b.iter(|| kp.public().walk_forward(&tj, j));
+        group.run(&format!("cloud_walk/{j}"), || {
+            black_box(kp.public().walk_forward(&tj, j));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short windows keep `cargo bench --workspace` tractable while still
-    // averaging enough iterations for stable relative comparisons.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .sample_size(10);
-    targets = bench_trapdoor
-}
-criterion_main!(benches);

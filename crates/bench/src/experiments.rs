@@ -211,7 +211,11 @@ pub fn gas_experiment() -> Vec<Table> {
     let deployer = slicer_chain::Address::from_byte(1);
     chain.create_account(deployer, 1);
     let deploy = chain
-        .deploy_contract(deployer, Box::new(slicer_chain::SlicerContract::fixed_512()), 0)
+        .deploy_contract(
+            deployer,
+            Box::new(slicer_chain::SlicerContract::fixed_512()),
+            0,
+        )
         .expect("funded deployer");
     let usd = |g: u64| format!("{:.3}", slicer_chain::gas_to_usd(g, 1.0, 3_000.0));
     t.push_row(vec![
@@ -252,10 +256,8 @@ pub fn gas_experiment() -> Vec<Table> {
 
     // Ablation: the same verification under Berlin (EIP-2565) MODEXP
     // pricing — shows how much of the cost is precompile pricing policy.
-    let mut chain =
-        slicer_chain::Blockchain::with_schedule(slicer_chain::GasSchedule::eip2565());
-    let mut inst =
-        slicer_core::SlicerInstance::setup(SlicerConfig::test_8bit(), 4242, &mut chain);
+    let mut chain = slicer_chain::Blockchain::with_schedule(slicer_chain::GasSchedule::eip2565());
+    let mut inst = slicer_core::SlicerInstance::setup(SlicerConfig::test_8bit(), 4242, &mut chain);
     inst.build(&mut chain, &db).expect("in-domain");
     let outcome = inst
         .search(&mut chain, &Query::equal(db[0].1), 1_000)
@@ -286,10 +288,7 @@ mod tests {
     fn gas_experiment_lands_near_paper() {
         let t = &gas_experiment()[0];
         let get = |op: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == op)
-                .expect("row present")[1]
+            t.rows.iter().find(|r| r[0] == op).expect("row present")[1]
                 .parse()
                 .expect("numeric gas")
         };

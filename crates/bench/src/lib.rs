@@ -38,7 +38,10 @@ mod tests {
 
     #[test]
     fn sweep_scales_and_floors() {
-        assert_eq!(record_sweep(1.0), vec![10_000, 20_000, 40_000, 80_000, 160_000]);
+        assert_eq!(
+            record_sweep(1.0),
+            vec![10_000, 20_000, 40_000, 80_000, 160_000]
+        );
         assert_eq!(record_sweep(0.001)[0], 100);
     }
 

@@ -191,7 +191,8 @@ impl Sub for &BigUint {
     /// Panics if `rhs > self`; use [`BigUint::checked_sub`] to handle
     /// underflow gracefully.
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -232,7 +233,7 @@ impl Mul<u64> for &BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use slicer_testkit::{prop_assert_eq, prop_check};
 
     fn big(v: u128) -> BigUint {
         BigUint::from(v)
@@ -268,43 +269,65 @@ mod tests {
     #[test]
     fn karatsuba_matches_schoolbook() {
         // Build operands large enough to trip the Karatsuba path.
-        let a_limbs: Vec<u64> = (0..80u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-        let b_limbs: Vec<u64> = (0..77u64).map(|i| i.wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0xFF).collect();
+        let a_limbs: Vec<u64> = (0..80u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let b_limbs: Vec<u64> = (0..77u64)
+            .map(|i| i.wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0xFF)
+            .collect();
         let k = mul_karatsuba(&a_limbs, &b_limbs);
         let s = mul_schoolbook(&a_limbs, &b_limbs);
         assert_eq!(BigUint::from_limbs(k), BigUint::from_limbs(s));
     }
 
-    proptest! {
-        #[test]
-        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn add_matches_u128() {
+        prop_check!(0xA11, 64, |g| {
+            let (a, b) = (g.u64(), g.u64());
             let r = &big(a as u128) + &big(b as u128);
             prop_assert_eq!(r.to_u128().unwrap(), a as u128 + b as u128);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn mul_matches_u128() {
+        prop_check!(0xA12, 64, |g| {
+            let (a, b) = (g.u64(), g.u64());
             let r = &big(a as u128) * &big(b as u128);
             prop_assert_eq!(r.to_u128().unwrap(), a as u128 * b as u128);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+    #[test]
+    fn add_sub_roundtrip() {
+        prop_check!(0xA13, 64, |g| {
+            let (a, b) = (g.u128(), g.u128());
             let s = &big(a) + &big(b);
             prop_assert_eq!(&s - &big(b), big(a));
             prop_assert_eq!(&s - &big(a), big(b));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn mul_commutes(a in any::<u128>(), b in any::<u128>()) {
+    #[test]
+    fn mul_commutes() {
+        prop_check!(0xA14, 64, |g| {
+            let (a, b) = (g.u128(), g.u128());
             prop_assert_eq!(&big(a) * &big(b), &big(b) * &big(a));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+    #[test]
+    fn distributive() {
+        prop_check!(0xA15, 64, |g| {
+            let (a, b, c) = (g.u64(), g.u64(), g.u64());
             let lhs = &big(a as u128) * &(&big(b as u128) + &big(c as u128));
             let rhs = &(&big(a as u128) * &big(b as u128)) + &(&big(a as u128) * &big(c as u128));
             prop_assert_eq!(lhs, rhs);
-        }
+            Ok(())
+        });
     }
 }

@@ -145,7 +145,7 @@ bitwise_op!(BitXor, bitxor, ^, max);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use slicer_testkit::{prop_assert_eq, prop_check};
 
     fn big(v: u128) -> BigUint {
         BigUint::from(v)
@@ -179,25 +179,37 @@ mod tests {
         assert_eq!(big(0b1011).count_ones(), 3);
     }
 
-    proptest! {
-        #[test]
-        fn shl_shr_roundtrip(v in any::<u128>(), s in 0u32..200) {
+    #[test]
+    fn shl_shr_roundtrip() {
+        prop_check!(0xB11, 64, |g| {
+            let v = g.u128();
+            let s = g.u64_in(0, 199) as u32;
             let shifted = &big(v) << s;
             prop_assert_eq!(&shifted >> s, big(v));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn bitwise_match_u128(a in any::<u128>(), b in any::<u128>()) {
+    #[test]
+    fn bitwise_match_u128() {
+        prop_check!(0xB12, 64, |g| {
+            let (a, b) = (g.u128(), g.u128());
             prop_assert_eq!((&big(a) & &big(b)).to_u128().unwrap(), a & b);
             prop_assert_eq!((&big(a) | &big(b)).to_u128().unwrap(), a | b);
             prop_assert_eq!((&big(a) ^ &big(b)).to_u128().unwrap(), a ^ b);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn shl_is_mul_by_power_of_two(v in any::<u64>(), s in 0u32..64) {
+    #[test]
+    fn shl_is_mul_by_power_of_two() {
+        prop_check!(0xB13, 64, |g| {
+            let v = g.u64();
+            let s = g.u64_in(0, 63) as u32;
             let lhs = &big(v as u128) << s;
             let rhs = &big(v as u128) * &big(1u128 << s);
             prop_assert_eq!(lhs, rhs);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,0 +1,56 @@
+//! Wire-format support: `BigUint` encodes as its canonical (no leading
+//! zero) big-endian byte string, length-prefixed.
+
+use crate::uint::BigUint;
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
+
+impl Encode for BigUint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bytes_be().encode(out);
+    }
+}
+
+impl Decode for BigUint {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = Vec::<u8>::decode(reader)?;
+        Ok(BigUint::from_bytes_be(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_crypto::codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn roundtrips_multi_limb_values() {
+        for hex in ["0", "1", "deadbeef", "0123456789abcdef0123456789abcdef01"] {
+            let v = BigUint::from_hex(hex).unwrap();
+            let bytes = to_bytes(&v).unwrap();
+            assert_eq!(from_bytes::<BigUint>(&bytes).unwrap(), v, "{hex}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical_big_endian() {
+        let bytes = to_bytes(&BigUint::from(0x0102u64)).unwrap();
+        // u64 length prefix (2) then the two significant bytes.
+        assert_eq!(bytes, vec![2, 0, 0, 0, 0, 0, 0, 0, 0x01, 0x02]);
+    }
+
+    #[test]
+    fn works_as_struct_field() {
+        #[derive(Debug, PartialEq)]
+        struct Wrap {
+            v: BigUint,
+            tag: u32,
+        }
+        slicer_crypto::impl_codec!(Wrap { v, tag });
+        let w = Wrap {
+            v: BigUint::from(7u64),
+            tag: 9,
+        };
+        let bytes = to_bytes(&w).unwrap();
+        assert_eq!(from_bytes::<Wrap>(&bytes).unwrap(), w);
+    }
+}

@@ -99,7 +99,7 @@ impl BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use slicer_testkit::{prop_assert_eq, prop_check};
 
     #[test]
     fn bytes_be_roundtrip_multi_limb() {
@@ -139,20 +139,25 @@ mod tests {
         assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
     }
 
-    proptest! {
-        #[test]
-        fn be_le_agree(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+    #[test]
+    fn be_le_agree() {
+        prop_check!(0xC11, 64, |g| {
+            let bytes = g.bytes(0, 39);
             let be = BigUint::from_bytes_be(&bytes);
             let mut rev = bytes.clone();
             rev.reverse();
             let le = BigUint::from_bytes_le(&rev);
             prop_assert_eq!(be, le);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn bytes_roundtrip(v in any::<u128>()) {
-            let b = BigUint::from(v);
+    #[test]
+    fn bytes_roundtrip() {
+        prop_check!(0xC12, 64, |g| {
+            let b = BigUint::from(g.u128());
             prop_assert_eq!(BigUint::from_bytes_be(&b.to_bytes_be()), b);
-        }
+            Ok(())
+        });
     }
 }

@@ -39,6 +39,7 @@
 
 mod arith;
 mod bits;
+mod codec_impl;
 mod convert;
 mod div;
 mod fmt;
@@ -47,7 +48,6 @@ mod modular;
 mod montgomery;
 mod prime;
 mod random;
-mod serde_impl;
 mod uint;
 
 pub use gcd::ExtendedGcd;

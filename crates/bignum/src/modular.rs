@@ -76,7 +76,7 @@ impl BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use slicer_testkit::{prop_assert_eq, prop_check};
 
     fn big(v: u128) -> BigUint {
         BigUint::from(v)
@@ -122,25 +122,30 @@ mod tests {
         acc
     }
 
-    proptest! {
-        #[test]
-        fn modpow_matches_naive_any_modulus(
-            base in any::<u32>(),
-            exp in any::<u16>(),
-            m in 2u64..=u32::MAX as u64,
-        ) {
+    #[test]
+    fn modpow_matches_naive_any_modulus() {
+        prop_check!(0xF11, 64, |g| {
+            let base = g.u32();
+            let exp = g.u16();
+            let m = g.u64_in(2, u32::MAX as u64);
             let got = big(base as u128).modpow(&big(exp as u128), &big(m as u128));
             let want = naive_modpow(base as u128, exp as u128, m as u128);
             prop_assert_eq!(got, big(want));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn addmod_submod_inverse(a in any::<u64>(), b in any::<u64>(), m in 2u64..=u64::MAX) {
+    #[test]
+    fn addmod_submod_inverse() {
+        prop_check!(0xF12, 64, |g| {
+            let (a, b) = (g.u64(), g.u64());
+            let m = g.u64_in(2, u64::MAX);
             let am = big(a as u128);
             let bm = big(b as u128);
             let mm = big(m as u128);
             let s = am.addmod(&bm, &mm);
             prop_assert_eq!(s.submod(&bm, &mm), &am % &mm);
-        }
+            Ok(())
+        });
     }
 }

@@ -222,7 +222,7 @@ fn ge(a: &[Limb], b: &[Limb]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use slicer_testkit::{prop_assert_eq, prop_check};
 
     #[test]
     fn rejects_even_modulus() {
@@ -282,32 +282,31 @@ mod tests {
         acc as u64
     }
 
-    proptest! {
-        #[test]
-        fn modpow_matches_naive_u64(
-            base in any::<u32>(),
-            exp in any::<u16>(),
-            m_half in 1u32..=u32::MAX,
-        ) {
-            let m = (m_half as u64) * 2 + 1; // odd
-            if m > 1 {
-                let ctx = MontgomeryCtx::new(&BigUint::from(m)).unwrap();
-                let got = ctx.modpow(&BigUint::from(base as u64), &BigUint::from(exp as u64));
-                let want = naive_modpow(base as u128, exp as u128, m as u128);
-                prop_assert_eq!(got, BigUint::from(want));
-            }
-        }
+    #[test]
+    fn modpow_matches_naive_u64() {
+        prop_check!(0x1011, 64, |g| {
+            let base = g.u32();
+            let exp = g.u16();
+            let m_half = g.u64_in(1, u32::MAX as u64);
+            let m = m_half * 2 + 1; // odd, > 1
+            let ctx = MontgomeryCtx::new(&BigUint::from(m)).unwrap();
+            let got = ctx.modpow(&BigUint::from(base as u64), &BigUint::from(exp as u64));
+            let want = naive_modpow(base as u128, exp as u128, m as u128);
+            prop_assert_eq!(got, BigUint::from(want));
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn mul_matches_naive_random(
-            a in any::<u128>(),
-            b in any::<u128>(),
-            m_half in 1u64..=u64::MAX,
-        ) {
+    #[test]
+    fn mul_matches_naive_random() {
+        prop_check!(0x1012, 64, |g| {
+            let (a, b) = (g.u128(), g.u128());
+            let m_half = g.u64_in(1, u64::MAX);
             let m = BigUint::from((m_half as u128) * 2 + 1);
             let ctx = MontgomeryCtx::new(&m).unwrap();
             let ab = &BigUint::from(a) * &BigUint::from(b);
             prop_assert_eq!(ctx.mul(&BigUint::from(a), &BigUint::from(b)), &ab % &m);
-        }
+            Ok(())
+        });
     }
 }

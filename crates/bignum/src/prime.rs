@@ -3,7 +3,7 @@
 use crate::montgomery::MontgomeryCtx;
 use crate::random::random_odd_bits;
 use crate::uint::BigUint;
-use rand::RngCore;
+use slicer_crypto::Rng;
 
 /// The odd primes below 1000, used for trial-division pre-filtering.
 pub const SMALL_PRIMES: &[u64] = &[
@@ -123,7 +123,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// # Panics
 ///
 /// Panics if `bits < 2`.
-pub fn gen_prime<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+pub fn gen_prime<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
     assert!(bits >= 2, "a prime needs at least 2 bits");
     loop {
         let cand = random_odd_bits(bits, rng);
@@ -142,7 +142,7 @@ pub fn gen_prime<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
 /// # Panics
 ///
 /// Panics if `bits < 4`.
-pub fn gen_safe_prime<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
     assert!(bits >= 4, "safe primes need at least 4 bits");
     loop {
         let q = random_odd_bits(bits - 1, rng);
@@ -193,8 +193,7 @@ pub fn next_prime(start: &BigUint) -> BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slicer_crypto::HmacDrbg;
 
     fn big(v: u128) -> BigUint {
         BigUint::from(v)
@@ -236,7 +235,7 @@ mod tests {
 
     #[test]
     fn gen_prime_has_exact_bits() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = HmacDrbg::from_u64(7);
         for bits in [16u32, 48, 128] {
             let p = gen_prime(bits, &mut rng);
             assert_eq!(p.bit_len(), bits as u64);
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn gen_safe_prime_structure() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = HmacDrbg::from_u64(11);
         let p = gen_safe_prime(64, &mut rng);
         assert!(p.is_probable_prime(8));
         let q = &(&p - &BigUint::one()) >> 1;

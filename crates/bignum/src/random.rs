@@ -2,10 +2,10 @@
 
 use crate::uint::BigUint;
 use crate::Limb;
-use rand::RngCore;
+use slicer_crypto::Rng;
 
 /// Samples a uniformly random integer with at most `bits` bits.
-pub fn random_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+pub fn random_bits<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
     if bits == 0 {
         return BigUint::zero();
     }
@@ -25,7 +25,7 @@ pub fn random_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
 /// # Panics
 ///
 /// Panics if `bits == 0`.
-pub fn random_odd_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
+pub fn random_odd_bits<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
     assert!(bits >= 1, "cannot sample a 0-bit integer");
     let mut v = random_bits(bits, rng);
     v.set_bit(bits as u64 - 1, true);
@@ -38,7 +38,7 @@ pub fn random_odd_bits<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
 /// # Panics
 ///
 /// Panics if `bound` is zero.
-pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+pub fn random_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
     assert!(!bound.is_zero(), "empty sampling range");
     let bits = bound.bit_len() as u32;
     loop {
@@ -52,12 +52,11 @@ pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slicer_crypto::HmacDrbg;
 
     #[test]
     fn random_bits_bounded() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HmacDrbg::from_u64(1);
         for _ in 0..100 {
             let v = random_bits(100, &mut rng);
             assert!(v.bit_len() <= 100);
@@ -66,7 +65,7 @@ mod tests {
 
     #[test]
     fn random_odd_exact_width() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = HmacDrbg::from_u64(2);
         for _ in 0..50 {
             let v = random_odd_bits(67, &mut rng);
             assert_eq!(v.bit_len(), 67);
@@ -76,7 +75,7 @@ mod tests {
 
     #[test]
     fn random_below_respects_bound() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = HmacDrbg::from_u64(3);
         let bound = BigUint::from(1000u64);
         let mut seen_small = false;
         for _ in 0..200 {
@@ -91,7 +90,7 @@ mod tests {
 
     #[test]
     fn one_bit_odd_is_one() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = HmacDrbg::from_u64(4);
         assert_eq!(random_odd_bits(1, &mut rng), BigUint::one());
     }
 }

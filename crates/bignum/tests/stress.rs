@@ -1,8 +1,8 @@
 //! Cross-validation stress tests for the bignum substrate: the RSA
 //! accumulator's correctness rests entirely on this arithmetic.
 
-use proptest::prelude::*;
 use slicer_bignum::{BigUint, MontgomeryCtx};
+use slicer_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 fn from_limbs(limbs: Vec<u64>) -> BigUint {
     BigUint::from_limbs(limbs)
@@ -39,7 +39,11 @@ fn division_add_back_stress() {
 
 #[test]
 fn division_by_one_and_self() {
-    let v = from_limbs((1u64..20).map(|i| i.wrapping_mul(0x1234_5678_9ABC_DEF0)).collect());
+    let v = from_limbs(
+        (1u64..20)
+            .map(|i| i.wrapping_mul(0x1234_5678_9ABC_DEF0))
+            .collect(),
+    );
     let (q, r) = v.div_rem(&BigUint::one());
     assert_eq!(q, v);
     assert!(r.is_zero());
@@ -52,7 +56,11 @@ fn division_by_one_and_self() {
 fn montgomery_matches_naive_at_512_bits() {
     // Odd 512-bit modulus from a fixed pattern.
     let m = {
-        let mut x = from_limbs((0..8u64).map(|i| 0xDEAD_BEEF_0000_0001u64.rotate_left(i as u32)).collect());
+        let mut x = from_limbs(
+            (0..8u64)
+                .map(|i| 0xDEAD_BEEF_0000_0001u64.rotate_left(i as u32))
+                .collect(),
+        );
         x.set_bit(0, true);
         x
     };
@@ -79,63 +87,68 @@ fn fermat_across_sizes() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn division_invariant_large(
-        u_limbs in proptest::collection::vec(any::<u64>(), 1..24),
-        v_limbs in proptest::collection::vec(any::<u64>(), 1..12),
-    ) {
-        let u = from_limbs(u_limbs);
-        let v = from_limbs(v_limbs);
-        prop_assume!(!v.is_zero());
+#[test]
+fn division_invariant_large() {
+    prop_check!(0x51, 64, |g| {
+        let u = from_limbs(g.vec_u64(1, 23, 0));
+        let v = from_limbs(g.vec_u64(1, 11, 0));
+        if v.is_zero() {
+            return Ok(());
+        }
         let (q, r) = u.div_rem(&v);
         prop_assert!(r < v);
         prop_assert_eq!(&(&q * &v) + &r, u);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn montgomery_modpow_matches_naive(
-        b_limbs in proptest::collection::vec(any::<u64>(), 1..5),
-        e in any::<u64>(),
-        m_limbs in proptest::collection::vec(any::<u64>(), 1..5),
-    ) {
-        let mut m = from_limbs(m_limbs);
+#[test]
+fn montgomery_modpow_matches_naive() {
+    prop_check!(0x52, 64, |g| {
+        let mut m = from_limbs(g.vec_u64(1, 4, 0));
         m.set_bit(0, true); // odd
-        prop_assume!(!m.is_one());
-        let base = from_limbs(b_limbs);
-        let exp = BigUint::from(e);
+        if m.is_one() {
+            return Ok(());
+        }
+        let base = from_limbs(g.vec_u64(1, 4, 0));
+        let exp = BigUint::from(g.u64());
         prop_assert_eq!(base.modpow(&exp, &m), naive_modpow(&base, &exp, &m));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mulmod_associative(
-        a in any::<u128>(),
-        b in any::<u128>(),
-        c in any::<u128>(),
-        m_limbs in proptest::collection::vec(1u64.., 1..4),
-    ) {
+#[test]
+fn mulmod_associative() {
+    prop_check!(0x53, 64, |g| {
+        let (a, b, c) = (g.u128(), g.u128(), g.u128());
+        let m_limbs: Vec<u64> = (0..g.usize_in(1, 3))
+            .map(|_| g.u64_in(1, u64::MAX))
+            .collect();
         let m = from_limbs(m_limbs);
-        prop_assume!(!m.is_zero() && !m.is_one());
+        if m.is_zero() || m.is_one() {
+            return Ok(());
+        }
         let (a, b, c) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
         let lhs = a.mulmod(&b, &m).mulmod(&c, &m);
         let rhs = a.mulmod(&b.mulmod(&c, &m), &m);
         prop_assert_eq!(lhs, rhs);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn modinv_roundtrip_odd_modulus(
-        a_limbs in proptest::collection::vec(any::<u64>(), 1..4),
-        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
-    ) {
-        let mut m = from_limbs(m_limbs);
+#[test]
+fn modinv_roundtrip_odd_modulus() {
+    prop_check!(0x54, 64, |g| {
+        let mut m = from_limbs(g.vec_u64(1, 3, 0));
         m.set_bit(0, true);
-        prop_assume!(!m.is_one());
-        let a = from_limbs(a_limbs);
+        if m.is_one() {
+            return Ok(());
+        }
+        let a = from_limbs(g.vec_u64(1, 3, 0));
         if let Some(inv) = a.modinv(&m) {
             prop_assert_eq!(&(&a * &inv) % &m, BigUint::one());
             prop_assert!(inv < m);
         }
-    }
+        Ok(())
+    });
 }

@@ -2,14 +2,13 @@
 
 use crate::tx::TxReceipt;
 use crate::types::H256;
-use serde::{Deserialize, Serialize};
 
 /// A sealed block.
 ///
 /// Timestamps are logical (the block height doubles as the clock): the
 /// simulator is fully deterministic, which the reproducibility of the
 /// benchmark harness depends on.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Block {
     /// Height of this block.
     pub number: u64,
@@ -20,6 +19,13 @@ pub struct Block {
     /// Receipts of the transactions executed in this block.
     pub receipts: Vec<TxReceipt>,
 }
+
+slicer_crypto::impl_codec!(Block {
+    number,
+    parent_hash,
+    hash,
+    receipts,
+});
 
 impl Block {
     /// The genesis block.

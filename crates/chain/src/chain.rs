@@ -76,7 +76,10 @@ impl Blockchain {
     pub fn create_account(&mut self, addr: Address, balance: u128) {
         self.accounts
             .entry(addr)
-            .or_insert(Account { balance: 0, nonce: 0 })
+            .or_insert(Account {
+                balance: 0,
+                nonce: 0,
+            })
             .balance += balance;
     }
 
@@ -98,9 +101,7 @@ impl Blockchain {
     /// Verifies the whole hash chain (integrity check used in tests and by
     /// auditors).
     pub fn verify_chain(&self) -> bool {
-        self.blocks
-            .windows(2)
-            .all(|w| w[1].verify_link(&w[0]))
+        self.blocks.windows(2).all(|w| w[1].verify_link(&w[0]))
     }
 
     /// Reads a raw storage slot of a deployed contract (a public-state
@@ -227,7 +228,9 @@ impl Blockchain {
         };
 
         let mut meter = GasMeter::new(tx.gas_limit);
-        meter.charge(intrinsic).expect("intrinsic fits: checked above");
+        meter
+            .charge(intrinsic)
+            .expect("intrinsic fits: checked above");
 
         // Execute against a copy of storage so reverts roll back cleanly.
         let deployed = self.contracts.get_mut(&tx.to).expect("checked above");
@@ -255,10 +258,7 @@ impl Blockchain {
                 // queued payouts are applied.
                 self.create_account(tx.to, tx.value);
                 for (to, amount) in payouts {
-                    let contract_acct = self
-                        .accounts
-                        .get_mut(&tx.to)
-                        .expect("created just above");
+                    let contract_acct = self.accounts.get_mut(&tx.to).expect("created just above");
                     assert!(
                         contract_acct.balance >= amount,
                         "contract attempted to overdraw its escrow"
@@ -409,11 +409,15 @@ mod tests {
         let owner = Address::from_byte(9);
         chain.create_account(owner, 1_000);
         let out = chain
-            .deploy_contract(owner, Box::new(SlicerContract::new(
-                slicer_accumulator::RsaParams::fixed_512(),
-                128,
+            .deploy_contract(
                 owner,
-            )), 0)
+                Box::new(SlicerContract::new(
+                    slicer_accumulator::RsaParams::fixed_512(),
+                    128,
+                    owner,
+                )),
+                0,
+            )
             .unwrap();
         // Success path emits AccumulatorUpdated.
         let call = SlicerCall::SetAccumulator(vec![1u8; 64]);

@@ -61,7 +61,11 @@ impl fmt::Display for ChainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChainError::UnknownAccount(a) => write!(f, "unknown account {a}"),
-            ChainError::InsufficientBalance { account, have, need } => {
+            ChainError::InsufficientBalance {
+                account,
+                have,
+                need,
+            } => {
                 write!(f, "account {account} holds {have} but needs {need}")
             }
             ChainError::UnknownContract(a) => write!(f, "no contract deployed at {a}"),

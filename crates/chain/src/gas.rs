@@ -1,13 +1,12 @@
 //! Gas schedule and metering (EVM Yellow-Paper flavoured).
 
 use crate::error::ContractError;
-use serde::{Deserialize, Serialize};
 
 /// Gas cost constants. Values follow the Ethereum mainline schedule at the
 /// time of the paper's Rinkeby evaluation (Istanbul/Berlin era), with
 /// EIP-198 pricing for the MODEXP precompile — the combination that places
 /// result verification near the paper's 94 531 gas.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GasSchedule {
     /// Intrinsic cost of any transaction.
     pub tx_base: u64,
@@ -45,6 +44,25 @@ pub struct GasSchedule {
     /// EIP-198.
     pub modexp_berlin: bool,
 }
+
+slicer_crypto::impl_codec!(GasSchedule {
+    tx_base,
+    tx_create,
+    calldata_zero,
+    calldata_nonzero,
+    code_deposit,
+    sstore_set,
+    sstore_reset,
+    sload,
+    hash_base,
+    hash_word,
+    field_mul,
+    hprime_candidate,
+    miller_rabin_round,
+    call_value_transfer,
+    call_base,
+    modexp_berlin,
+});
 
 impl Default for GasSchedule {
     fn default() -> Self {

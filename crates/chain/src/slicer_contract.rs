@@ -188,7 +188,9 @@ impl SlicerCall {
                     entries,
                 })
             }
-            s => Err(ContractError::BadCalldata(format!("unknown selector {s:#x}"))),
+            s => Err(ContractError::BadCalldata(format!(
+                "unknown selector {s:#x}"
+            ))),
         }
     }
 }

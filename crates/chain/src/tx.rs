@@ -1,10 +1,10 @@
 //! Transactions and receipts.
 
 use crate::types::{Address, H256};
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 
 /// A transaction submitted to the chain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Transaction {
     /// Sender.
     pub from: Address,
@@ -17,6 +17,14 @@ pub struct Transaction {
     /// Gas limit.
     pub gas_limit: u64,
 }
+
+slicer_crypto::impl_codec!(Transaction {
+    from,
+    to,
+    value,
+    data,
+    gas_limit,
+});
 
 impl Transaction {
     /// A call transaction with a default 10M gas limit.
@@ -43,12 +51,34 @@ impl Transaction {
 }
 
 /// Outcome of transaction execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxStatus {
     /// Executed successfully.
     Succeeded,
     /// Reverted (state rolled back, value refunded); carries the reason.
     Reverted(String),
+}
+
+impl Encode for TxStatus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TxStatus::Succeeded => 0u32.encode(out),
+            TxStatus::Reverted(reason) => {
+                1u32.encode(out);
+                reason.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for TxStatus {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(TxStatus::Succeeded),
+            1 => Ok(TxStatus::Reverted(String::decode(reader)?)),
+            v => Err(CodecError::msg(format!("invalid TxStatus variant {v}"))),
+        }
+    }
 }
 
 impl TxStatus {
@@ -59,7 +89,7 @@ impl TxStatus {
 }
 
 /// An event emitted by a contract during execution (discarded on revert).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEvent {
     /// Emitting contract.
     pub address: Address,
@@ -69,8 +99,14 @@ pub struct LogEvent {
     pub data: Vec<u8>,
 }
 
+slicer_crypto::impl_codec!(LogEvent {
+    address,
+    topic,
+    data
+});
+
 /// Receipt of an executed transaction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TxReceipt {
     /// Hash of the transaction.
     pub tx_hash: H256,
@@ -85,6 +121,15 @@ pub struct TxReceipt {
     /// Events emitted by the call (empty on revert).
     pub logs: Vec<LogEvent>,
 }
+
+slicer_crypto::impl_codec!(TxReceipt {
+    tx_hash,
+    block_number,
+    gas_used,
+    status,
+    output,
+    logs,
+});
 
 #[cfg(test)]
 mod tests {

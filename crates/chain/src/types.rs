@@ -1,12 +1,24 @@
 //! Core chain value types.
 
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use slicer_crypto::sha256;
 use std::fmt;
 
 /// A 20-byte account address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Address(pub [u8; 20]);
+
+impl Encode for Address {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for Address {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Address(<[u8; 20]>::decode(reader)?))
+    }
+}
 
 impl Address {
     /// The zero address.
@@ -40,8 +52,20 @@ impl fmt::Display for Address {
 }
 
 /// A 32-byte hash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct H256(pub [u8; 32]);
+
+impl Encode for H256 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for H256 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(H256(<[u8; 32]>::decode(reader)?))
+    }
+}
 
 impl H256 {
     /// Hashes arbitrary bytes.

@@ -165,8 +165,7 @@ impl CloudServer {
     /// means the cloud's own search output is inconsistent with what the
     /// owner accumulated, i.e. local state corruption.
     pub fn prove(&mut self, results: &[SliceResult]) -> Vec<Vec<u8>> {
-        let xs: Vec<slicer_bignum::BigUint> =
-            results.iter().map(|r| self.prime_for(r)).collect();
+        let xs: Vec<slicer_bignum::BigUint> = results.iter().map(|r| self.prime_for(r)).collect();
         let targets: Vec<usize> = xs
             .iter()
             .map(|x| {
@@ -251,8 +250,7 @@ pub mod malicious {
     /// Injects a forged record ciphertext into the first result
     /// (incorrect results).
     pub fn inject_record(mut resp: CloudResponse, forged: Vec<u8>) -> CloudResponse {
-        if let (Some(entry), Some(result)) = (resp.entries.first_mut(), resp.results.first_mut())
-        {
+        if let (Some(entry), Some(result)) = (resp.entries.first_mut(), resp.results.first_mut()) {
             entry.er.push(forged.clone());
             result.er.push(forged);
         }
@@ -290,8 +288,9 @@ mod tests {
 
     fn setup(n: u64) -> (DataOwner, CloudServer) {
         let mut owner = DataOwner::new(SlicerConfig::test_8bit(), 11);
-        let db: Vec<(RecordId, u64)> =
-            (0..n).map(|i| (RecordId::from_u64(i), (i * 7) % 256)).collect();
+        let db: Vec<(RecordId, u64)> = (0..n)
+            .map(|i| (RecordId::from_u64(i), (i * 7) % 256))
+            .collect();
         let out = owner.build(&db).unwrap();
         let mut cloud = CloudServer::new(
             owner.config().clone(),

@@ -153,7 +153,11 @@ mod tests {
     use super::*;
 
     fn ids(outcome: &SearchOutcome) -> Vec<u64> {
-        outcome.records.iter().map(|r| r.as_u64().unwrap()).collect()
+        outcome
+            .records
+            .iter()
+            .map(|r| r.as_u64().unwrap())
+            .collect()
     }
 
     fn dual() -> DualSlicer {

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = SlicerError::ValueOutOfDomain { value: 300, bits: 8 };
+        let e = SlicerError::ValueOutOfDomain {
+            value: 300,
+            bits: 8,
+        };
         assert_eq!(e.to_string(), "value 300 exceeds the 8-bit domain");
     }
 }

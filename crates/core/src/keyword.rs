@@ -1,12 +1,12 @@
 //! SSE keywords: `w ∈ {v} ∪ {ct_i}` of Algorithm 1.
 
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use slicer_sore::SliceTuple;
 
 /// A keyword in Slicer's encrypted index: either the value itself (serving
 /// equality queries) or one of its SORE ciphertext tuples (serving order
 /// queries).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Keyword {
     /// The plain value `v` under an attribute — equality search keyword.
     Equality {
@@ -17,6 +17,35 @@ pub enum Keyword {
     },
     /// A SORE ciphertext tuple `ct_i` — order search keyword.
     Slice(SliceTuple),
+}
+
+impl Encode for Keyword {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Keyword::Equality { attr, value } => {
+                0u32.encode(out);
+                attr.encode(out);
+                value.encode(out);
+            }
+            Keyword::Slice(t) => {
+                1u32.encode(out);
+                Encode::encode(t, out);
+            }
+        }
+    }
+}
+
+impl Decode for Keyword {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(Keyword::Equality {
+                attr: Vec::<u8>::decode(reader)?,
+                value: u64::decode(reader)?,
+            }),
+            1 => Ok(Keyword::Slice(SliceTuple::decode(reader)?)),
+            v => Err(CodecError::msg(format!("invalid Keyword variant {v}"))),
+        }
+    }
 }
 
 impl Keyword {

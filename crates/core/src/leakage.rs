@@ -31,10 +31,7 @@ impl BuildLeakage {
             label_bits: output.entries.first().map_or(0, |(l, _)| l.len() * 8),
             value_bits: output.entries.first().map_or(0, |(_, d)| d.len() * 8),
             entries: output.entries.len(),
-            prime_bits: output
-                .primes
-                .first()
-                .map_or(0, |x| x.bit_len() as usize),
+            prime_bits: output.primes.first().map_or(0, |x| x.bit_len() as usize),
             primes: output.primes.len(),
         }
     }
@@ -112,8 +109,9 @@ mod tests {
 
     fn owner_with(n: u64) -> DataOwner {
         let mut o = DataOwner::new(SlicerConfig::test_8bit(), 77);
-        let db: Vec<(RecordId, u64)> =
-            (0..n).map(|i| (RecordId::from_u64(i), (i * 3) % 256)).collect();
+        let db: Vec<(RecordId, u64)> = (0..n)
+            .map(|i| (RecordId::from_u64(i), (i * 3) % 256))
+            .collect();
         o.build(&db).unwrap();
         o
     }
@@ -121,8 +119,9 @@ mod tests {
     #[test]
     fn build_leakage_is_sizes_only() {
         let mut o = DataOwner::new(SlicerConfig::test_8bit(), 77);
-        let db: Vec<(RecordId, u64)> =
-            (0..20).map(|i| (RecordId::from_u64(i), (i * 3) % 256)).collect();
+        let db: Vec<(RecordId, u64)> = (0..20)
+            .map(|i| (RecordId::from_u64(i), (i * 3) % 256))
+            .collect();
         let out = o.build(&db).unwrap();
         let leak = BuildLeakage::of(&out);
         assert_eq!(leak.label_bits, 256);
@@ -132,8 +131,9 @@ mod tests {
         // Two databases with the same shape leak identically even with
         // completely different values — the simulator argument.
         let mut o2 = DataOwner::new(SlicerConfig::test_8bit(), 78);
-        let db2: Vec<(RecordId, u64)> =
-            (0..20).map(|i| (RecordId::from_u64(i + 500), (i * 7 + 1) % 256)).collect();
+        let db2: Vec<(RecordId, u64)> = (0..20)
+            .map(|i| (RecordId::from_u64(i + 500), (i * 7 + 1) % 256))
+            .collect();
         let out2 = o2.build(&db2).unwrap();
         let leak2 = BuildLeakage::of(&out2);
         assert_eq!(leak.label_bits, leak2.label_bits);
@@ -157,8 +157,7 @@ mod tests {
         let t1 = o.search_tokens(&Query::equal(3));
         let t2 = o.search_tokens(&Query::equal(6));
         let t3 = o.search_tokens(&Query::equal(3)); // repeat of t1
-        let history: Vec<SearchToken> =
-            t1.iter().chain(&t2).chain(&t3).cloned().collect();
+        let history: Vec<SearchToken> = t1.iter().chain(&t2).chain(&t3).cloned().collect();
         let leak = RepeatLeakage::of(&history);
         assert!(leak.matrix[0][2], "same query repeats");
         assert!(!leak.matrix[0][1], "different values differ");
@@ -173,8 +172,7 @@ mod tests {
         let before = o.search_tokens(&Query::equal(3));
         o.insert(&[(RecordId::from_u64(999), 3)]).unwrap();
         let after = o.search_tokens(&Query::equal(3));
-        let history: Vec<SearchToken> =
-            before.iter().chain(&after).cloned().collect();
+        let history: Vec<SearchToken> = before.iter().chain(&after).cloned().collect();
         let leak = RepeatLeakage::of(&history);
         assert!(!leak.matrix[0][1], "trapdoor rotation breaks linkage");
     }

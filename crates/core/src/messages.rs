@@ -1,14 +1,14 @@
 //! Wire types exchanged between the four parties.
 
-use serde::{Deserialize, Serialize};
 use slicer_bignum::BigUint;
 use slicer_chain::{TokenOnChain, VerifyEntry};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use slicer_store::IndexLabel;
 use slicer_trapdoor::Trapdoor;
 
 /// Wall-clock split of a build/insert run: the paper reports index
 /// building and ADS building separately (Fig. 3 / Fig. 7).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BuildTiming {
     /// Time spent producing encrypted index entries (tuples, trapdoors,
     /// PRF labels, record encryption).
@@ -17,10 +17,12 @@ pub struct BuildTiming {
     pub ads: std::time::Duration,
 }
 
+slicer_crypto::impl_codec!(BuildTiming { index, ads });
+
 /// Output of `Build` / `Insert` shipped from the owner to the cloud:
 /// the (new) index entries, (new) prime representatives and the updated
 /// accumulation value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BuildOutput {
     /// Encrypted index entries `(l, d)`.
     pub entries: Vec<(IndexLabel, Vec<u8>)>,
@@ -33,8 +35,29 @@ pub struct BuildOutput {
     pub timing: BuildTiming,
 }
 
+impl Encode for BuildOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Timing is benchmarking metadata, not protocol state: excluding it
+        // keeps same-seed builds byte-identical on the wire.
+        self.entries.encode(out);
+        self.primes.encode(out);
+        self.accumulator.encode(out);
+    }
+}
+
+impl Decode for BuildOutput {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BuildOutput {
+            entries: Decode::decode(reader)?,
+            primes: Decode::decode(reader)?,
+            accumulator: Decode::decode(reader)?,
+            timing: BuildTiming::default(),
+        })
+    }
+}
+
 /// A search token `(t_j, j, G1, G2)` for one keyword (Algorithm 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchToken {
     /// Newest trapdoor for the keyword.
     pub trapdoor: Trapdoor,
@@ -45,6 +68,13 @@ pub struct SearchToken {
     /// `G2 = G(K, w‖2)`.
     pub g2: [u8; 32],
 }
+
+slicer_crypto::impl_codec!(SearchToken {
+    trapdoor,
+    updates,
+    g1,
+    g2,
+});
 
 impl SearchToken {
     /// Converts to the on-chain representation, serializing the trapdoor at
@@ -61,13 +91,15 @@ impl SearchToken {
 
 /// The cloud's answer for one search token: the recovered encrypted
 /// results (Algorithm 4's `er`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SliceResult {
     /// The token answered.
     pub token: SearchToken,
     /// Encrypted matched records `Enc(K_R, R)`, one per hit.
     pub er: Vec<Vec<u8>>,
 }
+
+slicer_crypto::impl_codec!(SliceResult { token, er });
 
 /// The cloud's full response to a search request: chain-ready entries
 /// (results + verification objects) plus the raw results for the user.
@@ -80,7 +112,7 @@ pub struct CloudResponse {
 }
 
 /// The comparison operator of a user query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryOp {
     /// Records whose value equals the query value.
     Equal,
@@ -88,6 +120,28 @@ pub enum QueryOp {
     LessThan,
     /// Records whose value is strictly greater than the query value.
     GreaterThan,
+}
+
+impl Encode for QueryOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let variant: u32 = match self {
+            QueryOp::Equal => 0,
+            QueryOp::LessThan => 1,
+            QueryOp::GreaterThan => 2,
+        };
+        variant.encode(out);
+    }
+}
+
+impl Decode for QueryOp {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(QueryOp::Equal),
+            1 => Ok(QueryOp::LessThan),
+            2 => Ok(QueryOp::GreaterThan),
+            v => Err(CodecError::msg(format!("invalid QueryOp variant {v}"))),
+        }
+    }
 }
 
 /// A user query `(attribute, value, matching condition)`.
@@ -98,7 +152,7 @@ pub enum QueryOp {
 /// use slicer_core::Query;
 /// let q = Query::less_than(30).on_attr("age");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     /// Attribute name (empty for single-attribute databases).
     pub attr: Vec<u8>,
@@ -107,6 +161,8 @@ pub struct Query {
     /// The matching condition `mc`.
     pub op: QueryOp,
 }
+
+slicer_crypto::impl_codec!(Query { attr, value, op });
 
 impl Query {
     /// Equality query on the anonymous attribute.

@@ -108,10 +108,7 @@ impl DataOwner {
         if self.built {
             return Err(SlicerError::AlreadyBuilt);
         }
-        let records: Vec<Record> = db
-            .iter()
-            .map(|&(id, v)| Record::single(id, v))
-            .collect();
+        let records: Vec<Record> = db.iter().map(|&(id, v)| Record::single(id, v)).collect();
         let out = self.process(&records)?;
         self.built = true;
         Ok(out)
@@ -281,7 +278,7 @@ impl DataOwner {
     }
 
     /// Parallel keyword processing: chunks the (independent) keyword groups
-    /// across threads with crossbeam's scoped threads.
+    /// across std's scoped threads.
     fn process_keywords_parallel(
         &self,
         keys: &[Vec<u8>],
@@ -293,14 +290,17 @@ impl DataOwner {
             .min(keys.len());
         let chunk = keys.len().div_ceil(threads);
         let mut outputs: Vec<Option<Vec<KeywordOutput>>> = (0..threads).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, ks) in outputs.iter_mut().zip(keys.chunks(chunk)) {
-                s.spawn(move |_| {
-                    *slot = Some(ks.iter().map(|w| self.process_keyword(w, &groups[w])).collect());
+                s.spawn(move || {
+                    *slot = Some(
+                        ks.iter()
+                            .map(|w| self.process_keyword(w, &groups[w]))
+                            .collect(),
+                    );
                 });
             }
-        })
-        .expect("worker threads never panic");
+        });
         outputs
             .into_iter()
             .flat_map(|o| o.expect("all slots filled"))
@@ -362,7 +362,9 @@ mod tests {
     }
 
     fn db(n: u64) -> Vec<(RecordId, u64)> {
-        (0..n).map(|i| (RecordId::from_u64(i), (i * 37) % 256)).collect()
+        (0..n)
+            .map(|i| (RecordId::from_u64(i), (i * 37) % 256))
+            .collect()
     }
 
     #[test]
@@ -386,7 +388,13 @@ mod tests {
     fn out_of_domain_value_rejected() {
         let mut o = owner();
         let err = o.build(&[(RecordId::from_u64(1), 300)]).unwrap_err();
-        assert!(matches!(err, SlicerError::ValueOutOfDomain { value: 300, bits: 8 }));
+        assert!(matches!(
+            err,
+            SlicerError::ValueOutOfDomain {
+                value: 300,
+                bits: 8
+            }
+        ));
     }
 
     #[test]
@@ -438,8 +446,9 @@ mod tests {
         // equality through determinism of the whole pipeline instead.
         let mut big1 = DataOwner::new(SlicerConfig::test_16bit(), 5);
         let mut big2 = DataOwner::new(SlicerConfig::test_16bit(), 5);
-        let data: Vec<(RecordId, u64)> =
-            (0..200).map(|i| (RecordId::from_u64(i), i * 13 % 65536)).collect();
+        let data: Vec<(RecordId, u64)> = (0..200)
+            .map(|i| (RecordId::from_u64(i), i * 13 % 65536))
+            .collect();
         let o1 = big1.build(&data).unwrap();
         let o2 = big2.build(&data).unwrap();
         assert_eq!(o1.accumulator, o2.accumulator);

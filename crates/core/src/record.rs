@@ -1,6 +1,6 @@
 //! Records: the `(R, v)` pairs of the numerical database.
 
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use std::fmt;
 
 /// Fixed size of `Enc(K_R, R)`: a 16-byte nonce plus the 16-byte record ID
@@ -11,8 +11,20 @@ pub const RECORD_CIPHERTEXT_LEN: usize = 32;
 ///
 /// The paper's `R`. Uniqueness is the application's responsibility; the
 /// dual-instance extension additionally forbids re-inserting a deleted ID.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordId(pub [u8; 16]);
+
+impl Encode for RecordId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for RecordId {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RecordId(<[u8; 16]>::decode(reader)?))
+    }
+}
 
 impl RecordId {
     /// Builds an ID from a `u64` (zero-padded) — convenient for synthetic
@@ -59,13 +71,15 @@ impl fmt::Display for RecordId {
 
 /// A record with one or more named numerical attributes — the Section V-F
 /// multi-attribute data type `DB = {(R, {(a, v)})}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Record identifier.
     pub id: RecordId,
     /// `(attribute name, value)` pairs.
     pub attrs: Vec<(String, u64)>,
 }
+
+slicer_crypto::impl_codec!(Record { id, attrs });
 
 impl Record {
     /// A single-attribute record under the anonymous attribute `""`.

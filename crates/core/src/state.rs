@@ -1,14 +1,13 @@
 //! Owner-side mutable state: the trapdoor dictionary `T` and set-hash
 //! dictionary `S` of Algorithms 1–2.
 
-use serde::{Deserialize, Serialize};
 use slicer_mshash::MsetHash;
 use slicer_trapdoor::Trapdoor;
 use std::collections::HashMap;
 
 /// The per-keyword state stored in `T`: the newest trapdoor and the update
 /// count `j`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeywordState {
     /// Newest trapdoor `t_j`.
     pub trapdoor: Trapdoor,
@@ -19,9 +18,15 @@ pub struct KeywordState {
     pub counter: u64,
 }
 
+slicer_crypto::impl_codec!(KeywordState {
+    trapdoor,
+    updates,
+    counter,
+});
+
 /// Owner state: `T` (trapdoor states, also delegated to users) and `S`
 /// (set hashes, owner-only).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OwnerState {
     /// `T`: keyword encoding → trapdoor state.
     pub trapdoors: HashMap<Vec<u8>, KeywordState>,
@@ -29,6 +34,11 @@ pub struct OwnerState {
     /// keyword's full result set.
     pub set_hashes: HashMap<Vec<u8>, MsetHash>,
 }
+
+slicer_crypto::impl_codec!(OwnerState {
+    trapdoors,
+    set_hashes,
+});
 
 impl OwnerState {
     /// Empty state.

@@ -7,9 +7,7 @@ use crate::messages::Query;
 use crate::owner::DataOwner;
 use crate::record::{Record, RecordId};
 use crate::user::DataUser;
-use slicer_chain::{
-    Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt,
-};
+use slicer_chain::{Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt};
 use slicer_crypto::sha256;
 
 /// Outcome of a verified search.
@@ -70,7 +68,8 @@ impl SlicerInstance {
         chain.create_account(user_addr, 10_000_000_000);
         chain.create_account(cloud_addr, 10_000_000_000);
 
-        let contract = SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
+        let contract =
+            SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
         let deployed = chain
             .deploy_contract(owner_addr, Box::new(contract), 0)
             .expect("owner account funded above");
@@ -378,7 +377,9 @@ mod tests {
     use crate::cloud::malicious;
 
     fn db(n: u64) -> Vec<(RecordId, u64)> {
-        (0..n).map(|i| (RecordId::from_u64(i), (i * 13) % 256)).collect()
+        (0..n)
+            .map(|i| (RecordId::from_u64(i), (i * 13) % 256))
+            .collect()
     }
 
     #[test]
@@ -399,8 +400,7 @@ mod tests {
         for q in [Query::less_than(60), Query::greater_than(200)] {
             let out = sys.search(&q, 10).unwrap();
             assert!(out.verified, "query {q:?}");
-            let mut got: Vec<u64> =
-                out.records.iter().map(|r| r.as_u64().unwrap()).collect();
+            let mut got: Vec<u64> = out.records.iter().map(|r| r.as_u64().unwrap()).collect();
             got.sort_unstable();
             let mut want: Vec<u64> = data
                 .iter()

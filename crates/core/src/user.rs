@@ -28,11 +28,7 @@ pub struct DataUser {
 impl DataUser {
     /// Builds a user from delegated material (see
     /// [`crate::DataOwner::delegate`]).
-    pub fn new(
-        keys: KeySet,
-        config: SlicerConfig,
-        states: HashMap<Vec<u8>, KeywordState>,
-    ) -> Self {
+    pub fn new(keys: KeySet, config: SlicerConfig, states: HashMap<Vec<u8>, KeywordState>) -> Self {
         DataUser {
             keys,
             config,
@@ -144,8 +140,9 @@ mod tests {
 
     fn built_owner() -> DataOwner {
         let mut o = DataOwner::new(SlicerConfig::test_8bit(), 3);
-        let db: Vec<(RecordId, u64)> =
-            (0..30).map(|i| (RecordId::from_u64(i), i * 8 % 256)).collect();
+        let db: Vec<(RecordId, u64)> = (0..30)
+            .map(|i| (RecordId::from_u64(i), i * 8 % 256))
+            .collect();
         o.build(&db).unwrap();
         o
     }

@@ -1,10 +1,11 @@
 //! Property-based protocol invariants: random databases, random queries,
 //! always equal to the plaintext oracle; VOs always verify; tampering is
-//! always detected (offline variant — no chain — for proptest throughput).
+//! always detected (offline variant — no chain — for property-test
+//! throughput).
 
-use proptest::prelude::*;
 use slicer_accumulator::Accumulator;
 use slicer_core::{CloudServer, DataOwner, Query, RecordId, SlicerConfig};
+use slicer_testkit::{prop_assert, prop_assert_eq, prop_check, Gen};
 
 fn build_system(values: &[u64], seed: u64) -> (DataOwner, CloudServer) {
     let db: Vec<(RecordId, u64)> = values
@@ -34,17 +35,24 @@ fn decrypted_ids(owner: &DataOwner, results: &[slicer_core::SliceResult]) -> Vec
     ids
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn values_vec(g: &mut Gen, min: usize, max: usize) -> Vec<u64> {
+    (0..g.usize_in(min, max))
+        .map(|_| g.u64_in(0, 255))
+        .collect()
+}
 
-    #[test]
-    fn search_matches_oracle(
-        values in proptest::collection::vec(0u64..256, 1..40),
-        qv in 0u64..256,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn search_matches_oracle() {
+    prop_check!(0xC0E1, 64, |g| {
+        let values = values_vec(g, 1, 39);
+        let qv = g.u64_in(0, 255);
+        let seed = g.u64_in(0, 999);
         let (owner, cloud) = build_system(&values, seed);
-        for q in [Query::equal(qv), Query::less_than(qv), Query::greater_than(qv)] {
+        for q in [
+            Query::equal(qv),
+            Query::less_than(qv),
+            Query::greater_than(qv),
+        ] {
             let tokens = owner.search_tokens(&q);
             let results = cloud.search(&tokens);
             let got = decrypted_ids(&owner, &results);
@@ -57,14 +65,16 @@ proptest! {
             want.sort_unstable();
             prop_assert_eq!(got, want, "query {:?}", q);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn honest_vos_always_verify(
-        values in proptest::collection::vec(0u64..256, 1..25),
-        qv in 0u64..256,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn honest_vos_always_verify() {
+    prop_check!(0xC0E2, 64, |g| {
+        let values = values_vec(g, 1, 24);
+        let qv = g.u64_in(0, 255);
+        let seed = g.u64_in(0, 999);
         let (owner, mut cloud) = build_system(&values, seed);
         let tokens = owner.search_tokens(&Query::less_than(qv));
         let resp = cloud.respond(&tokens);
@@ -75,13 +85,15 @@ proptest! {
             let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
             prop_assert!(acc.verify(&x, &w));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn any_single_record_drop_is_detected(
-        values in proptest::collection::vec(0u64..256, 2..25),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn any_single_record_drop_is_detected() {
+    prop_check!(0xC0E3, 64, |g| {
+        let values = values_vec(g, 2, 24);
+        let seed = g.u64_in(0, 999);
         let (owner, mut cloud) = build_system(&values, seed);
         // Query that matches everything so some slice is non-empty.
         let tokens = owner.search_tokens(&Query::less_than(255));
@@ -100,15 +112,17 @@ proptest! {
             let w = slicer_bignum::BigUint::from_bytes_be(&resp.entries[i].vo);
             prop_assert!(!acc.verify(&x, &w), "slice {i} tamper undetected");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn insert_preserves_oracle_equality(
-        initial in proptest::collection::vec(0u64..256, 1..20),
-        extra in proptest::collection::vec(0u64..256, 1..10),
-        qv in 0u64..256,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn insert_preserves_oracle_equality() {
+    prop_check!(0xC0E4, 64, |g| {
+        let initial = values_vec(g, 1, 19);
+        let extra = values_vec(g, 1, 9);
+        let qv = g.u64_in(0, 255);
+        let seed = g.u64_in(0, 999);
         let (mut owner, mut cloud) = build_system(&initial, seed);
         let delta: Vec<(RecordId, u64)> = extra
             .iter()
@@ -125,11 +139,17 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(i, &v)| (i as u64, v))
-            .chain(extra.iter().enumerate().map(|(i, &v)| (1_000 + i as u64, v)))
+            .chain(
+                extra
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (1_000 + i as u64, v)),
+            )
             .filter(|(_, v)| q.matches(*v))
             .map(|(id, _)| id)
             .collect();
         want.sort_unstable();
         prop_assert_eq!(got, want);
-    }
+        Ok(())
+    });
 }

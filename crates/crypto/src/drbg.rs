@@ -2,19 +2,18 @@
 //! randomness in experiments and simulations.
 
 use crate::hmac_mod::hmac_sha256;
-use rand::{CryptoRng, RngCore};
+use crate::rng::Rng;
 
 /// A deterministic random bit generator built on HMAC-SHA256.
 ///
-/// Implements [`rand::RngCore`] so it can drive any sampling helper in the
+/// Implements [`Rng`] so it can drive any sampling helper in the
 /// workspace. Two instances seeded identically produce identical streams —
 /// the property the benchmark harness relies on for reproducible datasets.
 ///
 /// # Examples
 ///
 /// ```
-/// use slicer_crypto::HmacDrbg;
-/// use rand::RngCore;
+/// use slicer_crypto::{HmacDrbg, Rng};
 /// let mut a = HmacDrbg::new(b"seed");
 /// let mut b = HmacDrbg::new(b"seed");
 /// assert_eq!(a.next_u64(), b.next_u64());
@@ -84,30 +83,25 @@ impl HmacDrbg {
     }
 }
 
-impl RngCore for HmacDrbg {
-    fn next_u32(&mut self) -> u32 {
-        let mut b = [0u8; 4];
-        self.generate(&mut b);
-        u32::from_be_bytes(b)
-    }
-
+impl Rng for HmacDrbg {
     fn next_u64(&mut self) -> u64 {
         let mut b = [0u8; 8];
         self.generate(&mut b);
         u64::from_be_bytes(b)
     }
 
+    // Read exactly 4 bytes so interleaved u32/u64 draws stay aligned with
+    // the underlying byte stream.
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.generate(&mut b);
+        u32::from_be_bytes(b)
+    }
+
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         self.generate(dest);
     }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.generate(dest);
-        Ok(())
-    }
 }
-
-impl CryptoRng for HmacDrbg {}
 
 #[cfg(test)]
 mod tests {

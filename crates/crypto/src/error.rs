@@ -18,7 +18,10 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::CiphertextTooShort { len } => {
-                write!(f, "ciphertext of {len} bytes is shorter than the 16-byte nonce")
+                write!(
+                    f,
+                    "ciphertext of {len} bytes is shorter than the 16-byte nonce"
+                )
             }
         }
     }

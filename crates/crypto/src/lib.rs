@@ -13,7 +13,10 @@
 //! * [`Prf`] — a keyed PRF façade over HMAC with domain-separated derivation
 //!   ([`Prf::derive`]) mirroring `G(K, w‖1)` / `G(K, w‖2)` in Algorithm 1.
 //! * [`HmacDrbg`] — a deterministic random bit generator used for seeded,
-//!   reproducible experiments.
+//!   reproducible experiments. It implements the workspace's own [`Rng`]
+//!   trait, so no external RNG crate is needed anywhere in the build.
+//! * [`codec`] — the [`Encode`]/[`Decode`] trait pair every persistable
+//!   type in the workspace implements; the whole wire format lives here.
 //!
 //! # Example
 //!
@@ -33,17 +36,21 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod codec;
 mod drbg;
 mod error;
 mod hmac_mod;
 mod prf;
+mod rng;
 mod sha256_mod;
 mod symmetric;
 
+pub use codec::{CodecError, Decode, Encode};
 pub use drbg::HmacDrbg;
 pub use error::CryptoError;
 pub use hmac_mod::{hmac_sha256, Hmac};
 pub use prf::Prf;
+pub use rng::Rng;
 pub use sha256_mod::{sha256, Sha256};
 pub use symmetric::SymmetricKey;
 

@@ -1,0 +1,117 @@
+//! The workspace's own random-number abstraction.
+//!
+//! Every sampling helper in the workspace is generic over [`Rng`] instead of
+//! an external RNG trait, so the whole build stays hermetic: the only
+//! generator anyone needs is [`crate::HmacDrbg`], which is deterministic,
+//! seedable and reproducible across platforms.
+
+/// A source of pseudo-random bits.
+///
+/// Implementors only have to provide [`Rng::next_u64`]; the remaining
+/// methods have derived defaults. All default implementations consume the
+/// stream big-endian-first so that `fill_bytes` and `next_u64` agree on the
+/// byte order of the underlying stream.
+pub trait Rng {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 pseudo-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_be_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Samples uniformly from `[0, bound)` by rejection (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Reject the tail of the 64-bit space that would bias the result.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        (**self).gen_range(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl Rng for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_next_u64_stream() {
+        let mut a = Counter(0);
+        let mut b = Counter(0);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], b.next_u64().to_be_bytes());
+        assert_eq!(&buf[8..], b.next_u64().to_be_bytes());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = Counter(42);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = Counter(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn zero_bound_panics() {
+        Counter(0).gen_range(0);
+    }
+}

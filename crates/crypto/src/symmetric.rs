@@ -2,7 +2,7 @@
 
 use crate::aes::Aes128;
 use crate::error::CryptoError;
-use rand::RngCore;
+use crate::rng::Rng;
 
 /// Length of the random nonce prepended to each ciphertext.
 pub const NONCE_LEN: usize = 16;
@@ -38,7 +38,7 @@ impl std::fmt::Debug for SymmetricKey {
 
 impl SymmetricKey {
     /// Generates a fresh random key (`KGen`).
-    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
         let mut key = [0u8; 16];
         rng.fill_bytes(&mut key);
         Self::from_bytes(key)
@@ -69,7 +69,7 @@ impl SymmetricKey {
     }
 
     /// Encrypts with a random nonce drawn from `rng`.
-    pub fn encrypt_rng<R: RngCore + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    pub fn encrypt_rng<R: Rng + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill_bytes(&mut nonce);
         self.encrypt(plaintext, &nonce)
@@ -98,8 +98,7 @@ impl SymmetricKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::HmacDrbg;
 
     #[test]
     fn roundtrip() {
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn empty_plaintext() {
-        let key = SymmetricKey::generate(&mut StdRng::seed_from_u64(1));
+        let key = SymmetricKey::generate(&mut HmacDrbg::from_u64(1));
         let ct = key.encrypt(b"", &[3u8; 16]);
         assert_eq!(ct.len(), NONCE_LEN);
         assert_eq!(key.decrypt(&ct).unwrap(), b"");

@@ -34,7 +34,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use slicer_bignum::{BigUint, MontgomeryCtx};
 use slicer_crypto::sha256;
 use std::sync::OnceLock;
@@ -80,10 +79,12 @@ pub fn hash_to_field(data: &[u8]) -> BigUint {
 /// A multiset hash value: an element of `GF(q)` with multiset semantics.
 ///
 /// The empty multiset hashes to the multiplicative identity.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MsetHash {
     value: BigUint,
 }
+
+slicer_crypto::impl_codec!(MsetHash { value });
 
 impl Default for MsetHash {
     fn default() -> Self {

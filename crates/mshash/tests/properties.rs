@@ -1,57 +1,70 @@
 //! Property-based validation of the multiset-hash algebra.
 
-use proptest::prelude::*;
 use slicer_mshash::MsetHash;
+use slicer_testkit::{prop_assert_eq, prop_assert_ne, prop_check, Gen};
 
 fn hash_of(items: &[Vec<u8>]) -> MsetHash {
     MsetHash::of_multiset(items.iter().map(Vec::as_slice))
 }
 
-proptest! {
-    #[test]
-    fn permutation_invariance(
-        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..12),
-        seed in any::<u64>(),
-    ) {
+/// Draws between `min` and `max` byte strings of up to `elem_max` bytes.
+fn vec_of_bytes(g: &mut Gen, min: usize, max: usize, elem_max: usize) -> Vec<Vec<u8>> {
+    let n = g.usize_in(min, max);
+    (0..n).map(|_| g.bytes(0, elem_max)).collect()
+}
+
+#[test]
+fn permutation_invariance() {
+    prop_check!(0x3511, 64, |g| {
+        let items = vec_of_bytes(g, 0, 11, 15);
+        let seed = g.u64();
         let mut shuffled = items.clone();
         // Deterministic Fisher–Yates from the seed.
         let mut s = seed;
         for i in (1..shuffled.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             shuffled.swap(i, (s % (i as u64 + 1)) as usize);
         }
         prop_assert_eq!(hash_of(&items), hash_of(&shuffled));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn union_homomorphism(
-        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
-        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
-    ) {
+#[test]
+fn union_homomorphism() {
+    prop_check!(0x3512, 64, |g| {
+        let a = vec_of_bytes(g, 0, 7, 7);
+        let b = vec_of_bytes(g, 0, 7, 7);
         let combined = hash_of(&a).combine(&hash_of(&b));
         let mut all = a.clone();
         all.extend(b.clone());
         prop_assert_eq!(combined, hash_of(&all));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn insert_remove_cancel(
-        base in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..8),
-        extra in proptest::collection::vec(any::<u8>(), 0..8),
-    ) {
+#[test]
+fn insert_remove_cancel() {
+    prop_check!(0x3513, 64, |g| {
+        let base = vec_of_bytes(g, 0, 7, 7);
+        let extra = g.bytes(0, 7);
         let original = hash_of(&base);
         let mut h = original.clone();
         h.insert(&extra);
-        prop_assert_ne!(&h, &original, "insertion must change the hash");
+        prop_assert_ne!(&h, &original);
         h.remove(&extra);
         prop_assert_eq!(h, original);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiplicity_consistency(
-        elem in proptest::collection::vec(any::<u8>(), 0..8),
-        count in 0u64..20,
-    ) {
+#[test]
+fn multiplicity_consistency() {
+    prop_check!(0x3514, 64, |g| {
+        let elem = g.bytes(0, 7);
+        let count = g.u64_in(0, 19);
         let mut bulk = MsetHash::empty();
         bulk.insert_with_multiplicity(&elem, count);
         let mut serial = MsetHash::empty();
@@ -59,19 +72,34 @@ proptest! {
             serial.insert(&elem);
         }
         prop_assert_eq!(bulk, serial);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn extra_element_always_detected(
-        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..8), 1..8),
-    ) {
+#[test]
+fn extra_element_always_detected() {
+    prop_check!(0x3515, 64, |g| {
         // The core soundness property Algorithm 5 relies on: dropping any
         // element changes the hash.
+        let n = g.usize_in(1, 7);
+        let items: Vec<Vec<u8>> = (0..n).map(|_| g.bytes(1, 7)).collect();
         let full = hash_of(&items);
         for skip in 0..items.len() {
             let mut partial: Vec<Vec<u8>> = items.clone();
             partial.remove(skip);
-            prop_assert_ne!(&hash_of(&partial), &full, "dropping item {} undetected", skip);
+            prop_assert_ne!(&hash_of(&partial), &full);
         }
-    }
+        Ok(())
+    });
+}
+
+#[test]
+fn codec_roundtrip() {
+    prop_check!(0x3516, 64, |g| {
+        let h = hash_of(&vec_of_bytes(g, 0, 7, 7));
+        let bytes = slicer_crypto::codec::to_bytes(&h).map_err(|e| e.to_string())?;
+        let back: MsetHash = slicer_crypto::codec::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        prop_assert_eq!(back, h);
+        Ok(())
+    });
 }

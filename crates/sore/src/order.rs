@@ -1,16 +1,36 @@
 //! The order condition embedded in SORE tuples.
 
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use std::fmt;
 
 /// An order condition `oc ∈ {">", "<"}` in the paper's `x oc y` convention
 /// (`x` = query value, `y` = data value).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Order {
     /// `x > y`: matches data values *smaller* than the query value.
     Greater,
     /// `x < y`: matches data values *greater* than the query value.
     Less,
+}
+
+impl Encode for Order {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let variant: u32 = match self {
+            Order::Greater => 0,
+            Order::Less => 1,
+        };
+        variant.encode(out);
+    }
+}
+
+impl Decode for Order {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(Order::Greater),
+            1 => Ok(Order::Less),
+            v => Err(CodecError::msg(format!("invalid Order variant {v}"))),
+        }
+    }
 }
 
 impl Order {

@@ -1,7 +1,6 @@
 //! The bit-slice tuples `prefix ‖ bit ‖ op` underlying SORE.
 
 use crate::order::Order;
-use serde::{Deserialize, Serialize};
 
 /// One slice of a value: the tuple `(attr, i, v_{|i-1}, bit, op)`.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// bits. The canonical byte encoding ([`SliceTuple::encode`]) is what gets
 /// fed to the PRF in the SORE scheme and used as the SSE keyword `w = ct_i`
 /// in Algorithm 1.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SliceTuple {
     /// Attribute name for multi-attribute records (empty for single-value
     /// databases) — the Section V-F extension `a‖v_{|i-1}‖v_i‖oc`.
@@ -24,6 +23,14 @@ pub struct SliceTuple {
     /// The order symbol (`oc` in tokens, `cmp(v̄_i, v_i)` in ciphertexts).
     pub op: Order,
 }
+
+slicer_crypto::impl_codec!(SliceTuple {
+    attr,
+    index,
+    prefix,
+    bit,
+    op,
+});
 
 impl SliceTuple {
     /// Canonical byte encoding: `attr_len ‖ attr ‖ i ‖ prefix ‖ bit ‖ op`.
@@ -115,10 +122,7 @@ mod tests {
         let cts = cipher_tuples(b"", 5, 4);
         let tk_set: std::collections::HashSet<Vec<u8>> =
             tks.iter().map(SliceTuple::encode).collect();
-        let common = cts
-            .iter()
-            .filter(|c| tk_set.contains(&c.encode()))
-            .count();
+        let common = cts.iter().filter(|c| tk_set.contains(&c.encode())).count();
         assert_eq!(common, 1);
     }
 
@@ -129,7 +133,10 @@ mod tests {
         let cts = cipher_tuples(b"", 8, 4);
         let tk_set: std::collections::HashSet<Vec<u8>> =
             tks.iter().map(SliceTuple::encode).collect();
-        assert_eq!(cts.iter().filter(|c| tk_set.contains(&c.encode())).count(), 0);
+        assert_eq!(
+            cts.iter().filter(|c| tk_set.contains(&c.encode())).count(),
+            0
+        );
     }
 
     #[test]
@@ -150,7 +157,10 @@ mod tests {
             bit: true,
             op: Order::Greater,
         };
-        let t2 = SliceTuple { index: 3, ..t1.clone() };
+        let t2 = SliceTuple {
+            index: 3,
+            ..t1.clone()
+        };
         assert_ne!(t1.encode(), t2.encode());
     }
 }

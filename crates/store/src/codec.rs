@@ -1,12 +1,13 @@
-//! A compact binary serde codec (bincode-style, little-endian,
-//! length-prefixed) so cloud state and protocol messages can be persisted
-//! and shipped without external format crates.
+//! Binary persistence entry points for cloud state and protocol messages.
+//!
+//! The actual wire format lives in [`slicer_crypto::codec`] (fixed-width
+//! little-endian integers, `u64` length prefixes, one-byte option tags,
+//! `u32` enum variant indices); this module re-exports it under the
+//! historical `slicer_store::codec` path so persistence call sites keep a
+//! storage-flavoured import.
 //!
 //! The format is *not* self-describing: decoding is driven by the target
-//! type, exactly like the wire formats real SSE deployments use. Integers
-//! are fixed-width little-endian; `str`/`bytes`/sequences/maps carry a
-//! `u64` length prefix; options a one-byte tag; enum variants a `u32`
-//! index.
+//! type, exactly like the wire formats real SSE deployments use.
 //!
 //! # Examples
 //!
@@ -20,659 +21,50 @@
 //! # Ok::<(), slicer_store::codec::CodecError>(())
 //! ```
 
-use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
-use serde::ser::{self, Serialize};
-use std::error::Error;
-use std::fmt;
-
-/// Serializes a value to bytes.
-///
-/// # Errors
-///
-/// Returns [`CodecError`] for values the format cannot represent
-/// (unsized sequences).
-pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut ser = BinSerializer { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
-}
-
-/// Deserializes a value from bytes produced by [`to_bytes`].
-///
-/// # Errors
-///
-/// Returns [`CodecError`] on truncated or malformed input, or when
-/// trailing bytes remain.
-pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
-    let mut de = BinDeserializer { input: bytes };
-    let value = T::deserialize(&mut de)?;
-    if !de.input.is_empty() {
-        return Err(CodecError::msg(format!(
-            "{} trailing bytes after value",
-            de.input.len()
-        )));
-    }
-    Ok(value)
-}
-
-/// Errors raised by the binary codec.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CodecError(String);
-
-impl CodecError {
-    fn msg(s: impl Into<String>) -> Self {
-        CodecError(s.into())
-    }
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "codec error: {}", self.0)
-    }
-}
-
-impl Error for CodecError {}
-
-impl ser::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError(msg.to_string())
-    }
-}
-
-impl de::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError(msg.to_string())
-    }
-}
-
-struct BinSerializer {
-    out: Vec<u8>,
-}
-
-impl BinSerializer {
-    fn put_len(&mut self, len: usize) {
-        self.out.extend_from_slice(&(len as u64).to_le_bytes());
-    }
-}
-
-macro_rules! ser_int {
-    ($method:ident, $ty:ty) => {
-        fn $method(self, v: $ty) -> Result<(), CodecError> {
-            self.out.extend_from_slice(&v.to_le_bytes());
-            Ok(())
-        }
-    };
-}
-
-impl ser::Serializer for &mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
-        self.out.push(v as u8);
-        Ok(())
-    }
-
-    ser_int!(serialize_i8, i8);
-    ser_int!(serialize_i16, i16);
-    ser_int!(serialize_i32, i32);
-    ser_int!(serialize_i64, i64);
-    ser_int!(serialize_i128, i128);
-    ser_int!(serialize_u8, u8);
-    ser_int!(serialize_u16, u16);
-    ser_int!(serialize_u32, u32);
-    ser_int!(serialize_u64, u64);
-    ser_int!(serialize_u128, u128);
-    ser_int!(serialize_f32, f32);
-    ser_int!(serialize_f64, f64);
-
-    fn serialize_char(self, v: char) -> Result<(), CodecError> {
-        self.serialize_u32(v as u32)
-    }
-
-    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
-    }
-
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v);
-        Ok(())
-    }
-
-    fn serialize_none(self) -> Result<(), CodecError> {
-        self.out.push(0);
-        Ok(())
-    }
-
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
-        self.out.push(1);
-        value.serialize(self)
-    }
-
-    fn serialize_unit(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)
-    }
-
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(self)
-    }
-
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        self.serialize_u32(variant_index)?;
-        value.serialize(self)
-    }
-
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or_else(|| CodecError::msg("sequences must be sized"))?;
-        self.put_len(len);
-        Ok(self)
-    }
-
-    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(self)
-    }
-
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or_else(|| CodecError::msg("maps must be sized"))?;
-        self.put_len(len);
-        Ok(self)
-    }
-
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.serialize_u32(variant_index)?;
-        Ok(self)
-    }
-}
-
-macro_rules! ser_compound {
-    ($trait:path, $elem:ident $(, $key:ident)?) => {
-        impl $trait for &mut BinSerializer {
-            type Ok = ();
-            type Error = CodecError;
-
-            fn $elem<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-                value.serialize(&mut **self)
-            }
-
-            $(
-                fn $key<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-                    value.serialize(&mut **self)
-                }
-            )?
-
-            fn end(self) -> Result<(), CodecError> {
-                Ok(())
-            }
-        }
-    };
-}
-
-ser_compound!(ser::SerializeSeq, serialize_element);
-ser_compound!(ser::SerializeTuple, serialize_element);
-ser_compound!(ser::SerializeTupleStruct, serialize_field);
-ser_compound!(ser::SerializeTupleVariant, serialize_field);
-ser_compound!(ser::SerializeMap, serialize_value, serialize_key);
-
-impl ser::SerializeStruct for &mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStructVariant for &mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-struct BinDeserializer<'de> {
-    input: &'de [u8],
-}
-
-impl<'de> BinDeserializer<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
-        if self.input.len() < n {
-            return Err(CodecError::msg("truncated input"));
-        }
-        let (head, tail) = self.input.split_at(n);
-        self.input = tail;
-        Ok(head)
-    }
-
-    fn get_len(&mut self) -> Result<usize, CodecError> {
-        let b = self.take(8)?;
-        let len = u64::from_le_bytes(b.try_into().expect("len 8"));
-        usize::try_from(len).map_err(|_| CodecError::msg("length overflow"))
-    }
-}
-
-macro_rules! de_int {
-    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-            let b = self.take($n)?;
-            visitor.$visit(<$ty>::from_le_bytes(b.try_into().expect("sized")))
-        }
-    };
-}
-
-impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
-    type Error = CodecError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::msg("format is not self-describing"))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.take(1)?[0] {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            b => Err(CodecError::msg(format!("invalid bool byte {b}"))),
-        }
-    }
-
-    de_int!(deserialize_i8, visit_i8, i8, 1);
-    de_int!(deserialize_i16, visit_i16, i16, 2);
-    de_int!(deserialize_i32, visit_i32, i32, 4);
-    de_int!(deserialize_i64, visit_i64, i64, 8);
-    de_int!(deserialize_i128, visit_i128, i128, 16);
-    de_int!(deserialize_u8, visit_u8, u8, 1);
-    de_int!(deserialize_u16, visit_u16, u16, 2);
-    de_int!(deserialize_u32, visit_u32, u32, 4);
-    de_int!(deserialize_u64, visit_u64, u64, 8);
-    de_int!(deserialize_u128, visit_u128, u128, 16);
-    de_int!(deserialize_f32, visit_f32, f32, 4);
-    de_int!(deserialize_f64, visit_f64, f64, 8);
-
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let b = self.take(4)?;
-        let code = u32::from_le_bytes(b.try_into().expect("len 4"));
-        visitor.visit_char(char::from_u32(code).ok_or_else(|| CodecError::msg("invalid char"))?)
-    }
-
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        let bytes = self.take(len)?;
-        visitor
-            .visit_borrowed_str(std::str::from_utf8(bytes).map_err(|e| CodecError::msg(e.to_string()))?)
-    }
-
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_borrowed_bytes(self.take(len)?)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.take(1)?[0] {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            b => Err(CodecError::msg(format!("invalid option tag {b}"))),
-        }
-    }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_enum(EnumReader { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::msg("identifiers are not encoded"))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::msg("cannot skip values in a non-self-describing format"))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct Counted<'a, 'de> {
-    de: &'a mut BinDeserializer<'de>,
-    left: usize,
-}
-
-impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
-    type Error = CodecError;
-
-    fn next_element_seed<T: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, CodecError> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
-    type Error = CodecError;
-
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, CodecError> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    fn next_value_seed<V: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: V,
-    ) -> Result<V::Value, CodecError> {
-        seed.deserialize(&mut *self.de)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-struct EnumReader<'a, 'de> {
-    de: &'a mut BinDeserializer<'de>,
-}
-
-impl<'de> de::EnumAccess<'de> for EnumReader<'_, 'de> {
-    type Error = CodecError;
-    type Variant = Self;
-
-    fn variant_seed<V: de::DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self), CodecError> {
-        let b = self.de.take(4)?;
-        let index = u32::from_le_bytes(b.try_into().expect("len 4"));
-        let value = seed.deserialize(index.into_deserializer())?;
-        Ok((value, self))
-    }
-}
-
-impl<'de> de::VariantAccess<'de> for EnumReader<'_, 'de> {
-    type Error = CodecError;
-
-    fn unit_variant(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
-        self,
-        seed: T,
-    ) -> Result<T::Value, CodecError> {
-        seed.deserialize(self.de)
-    }
-
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
-    }
-}
+pub use slicer_crypto::codec::{from_bytes, to_bytes, CodecError, Decode, Encode, Reader};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
-    use std::collections::HashMap;
+    use crate::{CloudState, PrimeList};
+    use slicer_bignum::BigUint;
 
-    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
-        let bytes = to_bytes(&v).expect("encodes");
-        let back: T = from_bytes(&bytes).expect("decodes");
-        assert_eq!(back, v);
-    }
-
-    #[derive(Debug, PartialEq, Serialize, Deserialize)]
-    enum Sample {
-        Unit,
-        Newtype(u64),
-        Tuple(u8, String),
-        Struct { a: Option<bool>, b: Vec<u16> },
-    }
-
-    #[derive(Debug, PartialEq, Serialize, Deserialize)]
-    struct Nested {
-        map: HashMap<String, Vec<u8>>,
-        arr: [u8; 4],
-        pair: (i32, char),
-        opt: Option<Box<Nested>>,
-        variant: Sample,
+    #[test]
+    fn cloud_state_roundtrips() {
+        let mut s = CloudState::new();
+        s.index.put([3u8; 32], vec![9, 9, 9]).unwrap();
+        s.primes.push(BigUint::from(101u64));
+        s.accumulator = Some(BigUint::from(0xDEADu64));
+        let bytes = to_bytes(&s).unwrap();
+        let back: CloudState = from_bytes(&bytes).unwrap();
+        assert_eq!(back.index.get(&[3u8; 32]), Some([9, 9, 9].as_slice()));
+        assert_eq!(back.primes.as_slice(), s.primes.as_slice());
+        assert_eq!(back.accumulator, s.accumulator);
     }
 
     #[test]
-    fn primitives_roundtrip() {
-        roundtrip(true);
-        roundtrip(0xDEAD_BEEFu32);
-        roundtrip(-12345i64);
-        roundtrip(u128::MAX);
-        roundtrip(3.5f64);
-        roundtrip('λ');
-        roundtrip(String::from("hello, 世界"));
-        roundtrip(Option::<u8>::None);
-        roundtrip(Some(7u8));
-    }
-
-    #[test]
-    fn enums_roundtrip() {
-        roundtrip(Sample::Unit);
-        roundtrip(Sample::Newtype(99));
-        roundtrip(Sample::Tuple(1, "x".into()));
-        roundtrip(Sample::Struct {
-            a: Some(false),
-            b: vec![1, 2, 3],
-        });
-    }
-
-    #[test]
-    fn nested_structures_roundtrip() {
-        let mut map = HashMap::new();
-        map.insert("k".to_string(), vec![9u8, 8, 7]);
-        roundtrip(Nested {
-            map,
-            arr: [1, 2, 3, 4],
-            pair: (-5, 'z'),
-            opt: Some(Box::new(Nested {
-                map: HashMap::new(),
-                arr: [0; 4],
-                pair: (0, 'a'),
-                opt: None,
-                variant: Sample::Unit,
-            })),
-            variant: Sample::Newtype(3),
-        });
-    }
-
-    #[test]
-    fn truncated_input_rejected() {
-        let bytes = to_bytes(&12345u64).expect("encodes");
-        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
-        assert!(err.to_string().contains("truncated"));
+    fn restored_prime_list_lookup_works() {
+        let mut list: PrimeList = (0u64..8).map(|i| BigUint::from(100 + i)).collect();
+        let bytes = to_bytes(&list).unwrap();
+        let mut back: PrimeList = from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.position(&BigUint::from(105u64)),
+            list.position(&BigUint::from(105u64))
+        );
+        // Idempotent push still finds the existing slot after a restore.
+        assert_eq!(back.push(BigUint::from(100u64)), 0);
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = to_bytes(&1u8).expect("encodes");
+        let mut bytes = to_bytes(&7u64).unwrap();
         bytes.push(0);
-        assert!(from_bytes::<u8>(&bytes).is_err());
+        assert!(from_bytes::<u64>(&bytes).is_err());
     }
 
     #[test]
-    fn invalid_bool_rejected() {
-        assert!(from_bytes::<bool>(&[2]).is_err());
-    }
-
-    #[test]
-    fn cloud_state_roundtrip() {
-        use crate::CloudState;
-        let mut state = CloudState::new();
-        state.index.put([3u8; 32], vec![1, 2, 3]).expect("fresh");
-        state.primes.push(slicer_bignum::BigUint::from(101u64));
-        state.accumulator = Some(slicer_bignum::BigUint::from(0xFFFFu64));
-        let bytes = to_bytes(&state).expect("encodes");
-        let mut back: CloudState = from_bytes(&bytes).expect("decodes");
-        assert_eq!(back.index.get(&[3u8; 32]), Some([1u8, 2, 3].as_slice()));
-        assert_eq!(back.primes.position(&slicer_bignum::BigUint::from(101u64)), Some(0));
-        assert_eq!(back.accumulator, state.accumulator);
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&7u64).unwrap();
+        assert!(from_bytes::<u64>(&bytes[..4]).is_err());
     }
 }

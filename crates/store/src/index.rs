@@ -1,6 +1,5 @@
 //! The history-independent encrypted index `I`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -38,11 +37,16 @@ impl Error for DuplicateLabelError {}
 /// relevant to Section VI-A: lookups reveal nothing about insertion order,
 /// and the server only ever addresses entries through PRF labels it derives
 /// from search tokens.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EncryptedIndex {
     entries: HashMap<IndexLabel, Vec<u8>>,
     value_bytes: usize,
 }
+
+slicer_crypto::impl_codec!(EncryptedIndex {
+    entries,
+    value_bytes,
+});
 
 impl EncryptedIndex {
     /// An empty index.

@@ -14,7 +14,6 @@ mod primes;
 pub use index::{DuplicateLabelError, EncryptedIndex, IndexLabel, INDEX_LABEL_LEN};
 pub use primes::PrimeList;
 
-use serde::{Deserialize, Serialize};
 use slicer_bignum::BigUint;
 
 /// Everything the cloud persists for one Slicer instance.
@@ -27,7 +26,7 @@ use slicer_bignum::BigUint;
 /// assert_eq!(state.index.len(), 0);
 /// assert_eq!(state.primes.len(), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CloudState {
     /// The encrypted index `I` (label → masked record ciphertext).
     pub index: EncryptedIndex,
@@ -36,6 +35,12 @@ pub struct CloudState {
     /// The latest accumulation value `Ac` (mirrors the on-chain digest).
     pub accumulator: Option<BigUint>,
 }
+
+slicer_crypto::impl_codec!(CloudState {
+    index,
+    primes,
+    accumulator,
+});
 
 impl CloudState {
     /// An empty cloud state.

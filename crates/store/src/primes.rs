@@ -1,7 +1,7 @@
 //! The prime list `X` held by the cloud for witness generation.
 
-use serde::{Deserialize, Serialize};
 use slicer_bignum::BigUint;
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use std::collections::HashMap;
 
 /// An append-only list of prime representatives with O(1) index lookup.
@@ -10,11 +10,29 @@ use std::collections::HashMap;
 /// accumulated, and freshness is enforced by the *user's* token pointing at
 /// the newest `(t_j, j)` state (whose prime is the only one the contract
 /// will recompute).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PrimeList {
     primes: Vec<BigUint>,
-    #[serde(skip)]
     positions: HashMap<BigUint, usize>,
+}
+
+impl Encode for PrimeList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Only the primes travel; the lookup table is derived state.
+        self.primes.encode(out);
+    }
+}
+
+impl Decode for PrimeList {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let primes = Vec::<BigUint>::decode(reader)?;
+        let positions = primes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Ok(PrimeList { primes, positions })
+    }
 }
 
 impl PrimeList {
@@ -65,7 +83,7 @@ impl PrimeList {
             .sum()
     }
 
-    /// Restores the lookup table after deserialization (serde skips it).
+    /// Restores the lookup table after deserialization (only the primes travel).
     fn rebuild_if_needed(&mut self) {
         if self.positions.len() != self.primes.len() {
             self.positions = self

@@ -1,0 +1,227 @@
+//! A minimal monotonic-clock micro-benchmark runner for `harness = false`
+//! bench targets: warm up, pick a batch size, sample, report mean/min.
+//!
+//! ```no_run
+//! use slicer_testkit::bench::Bench;
+//!
+//! let mut b = Bench::new("primitives");
+//! b.run("sha256/64B", || {
+//!     std::hint::black_box(slicer_crypto::sha256(&[0u8; 64]));
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export: keep benched expressions out of the optimizer's reach.
+pub use std::hint::black_box;
+
+/// A named group of micro-benchmarks sharing one timing configuration.
+pub struct Bench {
+    group: String,
+    warmup: Duration,
+    measure: Duration,
+}
+
+/// Timing summary of one benchmark id.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed sample (per iteration).
+    pub min: Duration,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl Bench {
+    /// Creates a group with the workspace defaults (500 ms warmup,
+    /// 1500 ms measurement — the same budget the old harness used).
+    pub fn new(group: &str) -> Self {
+        Bench {
+            group: group.to_string(),
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_millis(1500),
+        }
+    }
+
+    /// Overrides the warmup duration.
+    pub fn warmup_ms(mut self, ms: u64) -> Self {
+        self.warmup = Duration::from_millis(ms);
+        self
+    }
+
+    /// Overrides the measurement duration.
+    pub fn measure_ms(mut self, ms: u64) -> Self {
+        self.measure = Duration::from_millis(ms);
+        self
+    }
+
+    /// Times `f`, batching iterations so timer overhead stays negligible,
+    /// and prints one report line.
+    pub fn run<F: FnMut()>(&mut self, id: &str, mut f: F) -> Stats {
+        // Warmup: run until the warmup budget elapses, estimating the cost
+        // of one iteration as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Aim for ~100 samples; each sample is a batch of iterations.
+        let target_sample = (self.measure / 100).max(Duration::from_micros(10));
+        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        let stats = summarize(&samples, total_iters);
+        self.report(id, stats, None);
+        stats
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed region (one call per sample).
+    pub fn run_batched<T, S, F>(&mut self, id: &str, mut setup: S, mut routine: F) -> Stats
+    where
+        S: FnMut() -> T,
+        F: FnMut(T),
+    {
+        let warm_start = Instant::now();
+        let mut warmed = false;
+        while warm_start.elapsed() < self.warmup || !warmed {
+            routine(setup());
+            warmed = true;
+        }
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measure || samples.is_empty() {
+            let input = setup();
+            let t = Instant::now();
+            routine(input);
+            let d = t.elapsed();
+            samples.push(d);
+            elapsed += d;
+        }
+        let iters = samples.len() as u64;
+        let stats = summarize(&samples, iters);
+        self.report(id, stats, None);
+        stats
+    }
+
+    /// Like [`Bench::run`], additionally reporting throughput for `bytes`
+    /// processed per iteration.
+    pub fn run_throughput<F: FnMut()>(&mut self, id: &str, bytes: u64, mut f: F) -> Stats {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target_sample = (self.measure / 100).max(Duration::from_micros(10));
+        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        let stats = summarize(&samples, total_iters);
+        self.report(id, stats, Some(bytes));
+        stats
+    }
+
+    fn report(&self, id: &str, stats: Stats, bytes: Option<u64>) {
+        let mut line = format!(
+            "{:<40} time: [mean {:>10}  min {:>10}]  ({} iters)",
+            format!("{}/{}", self.group, id),
+            fmt_duration(stats.mean),
+            fmt_duration(stats.min),
+            stats.iters
+        );
+        if let Some(b) = bytes {
+            let secs = stats.mean.as_secs_f64();
+            if secs > 0.0 {
+                let mbps = b as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  {mbps:.1} MiB/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn summarize(samples: &[Duration], iters: u64) -> Stats {
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len().max(1) as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    Stats { mean, min, iters }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_measures_and_counts() {
+        let mut b = Bench::new("selftest").warmup_ms(5).measure_ms(20);
+        let mut calls = 0u64;
+        let stats = b.run("noop", || {
+            calls += 1;
+            black_box(calls);
+        });
+        assert!(stats.iters > 0);
+        assert!(calls >= stats.iters);
+        assert!(stats.min <= stats.mean);
+    }
+
+    #[test]
+    fn run_batched_times_only_routine() {
+        let mut b = Bench::new("selftest").warmup_ms(5).measure_ms(20);
+        let stats = b.run_batched(
+            "sleepless",
+            || vec![0u8; 1024],
+            |v| {
+                black_box(v.len());
+            },
+        );
+        assert!(stats.iters > 0);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(123)), "123 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

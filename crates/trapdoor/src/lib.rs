@@ -18,10 +18,9 @@
 //!
 //! ```
 //! use slicer_trapdoor::TrapdoorKeyPair;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use slicer_crypto::HmacDrbg;
 //!
-//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut rng = HmacDrbg::from_u64(1);
 //! let kp = TrapdoorKeyPair::generate(512, &mut rng);
 //! let t0 = kp.public().random_trapdoor(&mut rng);
 //! let t1 = kp.invert(&t0);              // owner steps backwards
@@ -31,9 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
 use slicer_bignum::{gen_prime, random_below, BigUint, MontgomeryCtx};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
+use slicer_crypto::Rng;
 use std::sync::Arc;
 
 /// Fixed RSA public exponent.
@@ -48,8 +47,20 @@ const FIXED_D_HEX: &str = "2fc2fbac3665e1c84e9d5e78c41205bbaab82ba240c9190ed6dcd
 ///
 /// Trapdoors index generations of a keyword's posting list; each `Insert`
 /// on a previously-searched keyword steps the trapdoor backwards.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Trapdoor(BigUint);
+
+impl Encode for Trapdoor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for Trapdoor {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Trapdoor(BigUint::decode(reader)?))
+    }
+}
 
 impl Trapdoor {
     /// Wraps a raw field element.
@@ -70,11 +81,30 @@ impl Trapdoor {
 }
 
 /// The public half of the trapdoor permutation: `π_pk(x) = x^e mod n`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrapdoorPublic {
     modulus: BigUint,
-    #[serde(skip, default)]
     ctx: Option<Arc<MontgomeryCtx>>,
+}
+
+impl Encode for TrapdoorPublic {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.modulus.encode(out);
+    }
+}
+
+impl Decode for TrapdoorPublic {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let modulus = BigUint::decode(reader)?;
+        // Rebuild the Montgomery context eagerly; an even modulus means
+        // corrupt input rather than a valid RSA public key.
+        let ctx = MontgomeryCtx::new(&modulus)
+            .ok_or_else(|| CodecError::msg("TrapdoorPublic modulus must be odd and > 1"))?;
+        Ok(TrapdoorPublic {
+            modulus,
+            ctx: Some(Arc::new(ctx)),
+        })
+    }
 }
 
 impl PartialEq for TrapdoorPublic {
@@ -93,7 +123,8 @@ impl TrapdoorPublic {
         }
     }
 
-    /// Rebuilds the Montgomery context after deserialization.
+    /// Rebuilds the Montgomery context if absent. Decoding already restores
+    /// it; this remains for callers that construct keys by other means.
     pub fn restore_ctx(&mut self) {
         if self.ctx.is_none() {
             self.ctx = Some(Arc::new(
@@ -103,9 +134,9 @@ impl TrapdoorPublic {
     }
 
     fn ctx(&self) -> &MontgomeryCtx {
-        self.ctx
-            .as_deref()
-            .expect("public key deserialized without restore_ctx")
+        // Every construction path — `new` and `Decode` — populates the
+        // context, so this cannot fail.
+        self.ctx.as_deref().expect("ctx populated on construction")
     }
 
     /// The modulus `n`.
@@ -133,17 +164,22 @@ impl TrapdoorPublic {
     }
 
     /// Samples a uniformly random trapdoor in `Z_n`.
-    pub fn random_trapdoor<R: RngCore + ?Sized>(&self, rng: &mut R) -> Trapdoor {
+    pub fn random_trapdoor<R: Rng + ?Sized>(&self, rng: &mut R) -> Trapdoor {
         Trapdoor(random_below(&self.modulus, rng))
     }
 }
 
 /// An RSA trapdoor-permutation keypair held by the data owner.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrapdoorKeyPair {
     public: TrapdoorPublic,
     private_exponent: BigUint,
 }
+
+slicer_crypto::impl_codec!(TrapdoorKeyPair {
+    public,
+    private_exponent,
+});
 
 impl TrapdoorKeyPair {
     /// Generates a fresh `bits`-bit keypair with `e = 65537`.
@@ -151,7 +187,7 @@ impl TrapdoorKeyPair {
     /// # Panics
     ///
     /// Panics if `bits < 64`.
-    pub fn generate<R: RngCore + ?Sized>(bits: u32, rng: &mut R) -> Self {
+    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Self {
         assert!(bits >= 64, "modulus too small for a permutation domain");
         let e = BigUint::from(PUBLIC_EXPONENT);
         loop {
@@ -203,13 +239,12 @@ impl TrapdoorKeyPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slicer_crypto::HmacDrbg;
 
     #[test]
     fn fixture_permutation_roundtrip() {
         let kp = TrapdoorKeyPair::fixed_test();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = HmacDrbg::from_u64(3);
         let t = kp.public().random_trapdoor(&mut rng);
         let back = kp.invert(&t);
         assert_ne!(back, t);
@@ -220,7 +255,7 @@ mod tests {
 
     #[test]
     fn generated_keypair_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = HmacDrbg::from_u64(4);
         let kp = TrapdoorKeyPair::generate(256, &mut rng);
         let t = kp.public().random_trapdoor(&mut rng);
         assert_eq!(kp.public().forward(&kp.invert(&t)), t);
@@ -229,7 +264,7 @@ mod tests {
     #[test]
     fn chain_walks_compose() {
         let kp = TrapdoorKeyPair::fixed_test();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = HmacDrbg::from_u64(5);
         let t0 = kp.public().random_trapdoor(&mut rng);
         let t3 = kp.walk_back(&t0, 3);
         assert_eq!(kp.public().walk_forward(&t3, 3), t0);
@@ -241,7 +276,7 @@ mod tests {
     #[test]
     fn fixed_width_encoding() {
         let kp = TrapdoorKeyPair::fixed_test();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = HmacDrbg::from_u64(6);
         let t = kp.public().random_trapdoor(&mut rng);
         let w = kp.public().trapdoor_bytes();
         assert_eq!(w, 64);
@@ -251,7 +286,7 @@ mod tests {
     #[test]
     fn distinct_trapdoors_random() {
         let kp = TrapdoorKeyPair::fixed_test();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = HmacDrbg::from_u64(7);
         let a = kp.public().random_trapdoor(&mut rng);
         let b = kp.public().random_trapdoor(&mut rng);
         assert_ne!(a, b);

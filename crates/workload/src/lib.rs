@@ -10,11 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
+use slicer_crypto::Rng;
 
 /// Value distribution of a synthetic dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Uniform over the full `bits`-bit domain (the paper's setting).
     Uniform,
@@ -30,8 +30,39 @@ pub enum Distribution {
     },
 }
 
+impl Encode for Distribution {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Distribution::Uniform => 0u32.encode(out),
+            Distribution::Zipf { exponent } => {
+                1u32.encode(out);
+                exponent.encode(out);
+            }
+            Distribution::Clustered { spread } => {
+                2u32.encode(out);
+                spread.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Distribution {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(Distribution::Uniform),
+            1 => Ok(Distribution::Zipf {
+                exponent: f64::decode(reader)?,
+            }),
+            2 => Ok(Distribution::Clustered {
+                spread: f64::decode(reader)?,
+            }),
+            v => Err(CodecError::msg(format!("invalid Distribution variant {v}"))),
+        }
+    }
+}
+
 /// Descriptor of a synthetic dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Number of records.
     pub records: usize,
@@ -42,6 +73,13 @@ pub struct DatasetSpec {
     /// RNG seed.
     pub seed: u64,
 }
+
+slicer_crypto::impl_codec!(DatasetSpec {
+    records,
+    bits,
+    distribution,
+    seed,
+});
 
 impl DatasetSpec {
     /// The paper's uniform setting.
@@ -69,12 +107,8 @@ impl DatasetSpec {
                 id[8..].copy_from_slice(&(i as u64).to_be_bytes());
                 let v = match self.distribution {
                     Distribution::Uniform => rng.next_u64() & max,
-                    Distribution::Zipf { exponent } => {
-                        zipf_sample(&mut rng, max, exponent)
-                    }
-                    Distribution::Clustered { spread } => {
-                        clustered_sample(&mut rng, max, spread)
-                    }
+                    Distribution::Zipf { exponent } => zipf_sample(&mut rng, max, exponent),
+                    Distribution::Clustered { spread } => clustered_sample(&mut rng, max, spread),
                 };
                 (id, v)
             })
@@ -85,11 +119,7 @@ impl DatasetSpec {
 /// Samples equality/order query values for a dataset: draws `count` values
 /// that *exist* in the data (so equality queries return hits, as when the
 /// paper "selects random numbers to execute the protocol").
-pub fn sample_query_values(
-    data: &[([u8; 16], u64)],
-    count: usize,
-    seed: u64,
-) -> Vec<u64> {
+pub fn sample_query_values(data: &[([u8; 16], u64)], count: usize, seed: u64) -> Vec<u64> {
     let mut rng = splitmix_stream(seed);
     (0..count)
         .map(|_| data[(rng.next_u64() % data.len() as u64) as usize].1)
@@ -97,8 +127,8 @@ pub fn sample_query_values(
 }
 
 /// A tiny deterministic RNG (SplitMix64 stream) implementing
-/// [`rand::RngCore`]; deliberately minimal so dataset generation has no
-/// cross-version drift.
+/// [`slicer_crypto::Rng`]; deliberately minimal so dataset generation has
+/// no cross-version drift.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
     state: u64,
@@ -109,11 +139,7 @@ pub fn splitmix_stream(seed: u64) -> SplitMix64 {
     SplitMix64 { state: seed }
 }
 
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
+impl Rng for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -121,28 +147,16 @@ impl RngCore for SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let v = self.next_u64().to_be_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
 }
 
-fn zipf_sample<R: RngCore>(rng: &mut R, max: u64, exponent: f64) -> u64 {
+fn zipf_sample<R: Rng>(rng: &mut R, max: u64, exponent: f64) -> u64 {
     // Inverse-power transform over a bounded rank space.
     let u = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
     let rank = u.powf(-1.0 / exponent) - 1.0;
     (rank as u64).min(max)
 }
 
-fn clustered_sample<R: RngCore>(rng: &mut R, max: u64, spread: f64) -> u64 {
+fn clustered_sample<R: Rng>(rng: &mut R, max: u64, spread: f64) -> u64 {
     let mid = max / 2;
     let band = ((max as f64) * spread.clamp(1e-9, 0.5)) as u64;
     let lo = mid.saturating_sub(band);
@@ -173,8 +187,7 @@ mod tests {
     fn uniform_covers_the_domain() {
         let spec = DatasetSpec::uniform(2_000, 8, 2);
         let data = spec.generate();
-        let distinct: std::collections::HashSet<u64> =
-            data.iter().map(|(_, v)| *v).collect();
+        let distinct: std::collections::HashSet<u64> = data.iter().map(|(_, v)| *v).collect();
         // 2000 uniform draws over 256 values: expect near-full coverage.
         assert!(distinct.len() > 240, "only {} distinct", distinct.len());
     }
@@ -214,8 +227,7 @@ mod tests {
         let spec = DatasetSpec::uniform(100, 16, 5);
         let data = spec.generate();
         let qs = sample_query_values(&data, 20, 6);
-        let values: std::collections::HashSet<u64> =
-            data.iter().map(|(_, v)| *v).collect();
+        let values: std::collections::HashSet<u64> = data.iter().map(|(_, v)| *v).collect();
         assert!(qs.iter().all(|q| values.contains(q)));
         assert_eq!(qs.len(), 20);
     }
@@ -223,8 +235,7 @@ mod tests {
     #[test]
     fn ids_are_sequential_and_unique() {
         let data = DatasetSpec::uniform(50, 8, 1).generate();
-        let ids: std::collections::HashSet<[u8; 16]> =
-            data.iter().map(|(id, _)| *id).collect();
+        let ids: std::collections::HashSet<[u8; 16]> = data.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.len(), 50);
     }
 }

@@ -26,10 +26,7 @@ fn main() {
         .search(&Query::less_than(100), 100)
         .expect("chain ok");
     assert!(small.verified);
-    println!(
-        "positions < 100 lots: {:?}",
-        ids(&small.records)
-    );
+    println!("positions < 100 lots: {:?}", ids(&small.records));
     assert_eq!(ids(&small.records), vec![1, 2, 3]);
 
     // Close position 2 (deletion = insert into the delete-instance).
@@ -39,7 +36,10 @@ fn main() {
         .expect("chain ok");
     assert!(after_close.verified);
     assert_eq!(ids(&after_close.records), vec![1, 3]);
-    println!("closed #2; positions < 100 now {:?}", ids(&after_close.records));
+    println!(
+        "closed #2; positions < 100 now {:?}",
+        ids(&after_close.records)
+    );
 
     // Re-price position 4 from 120 down to 60 lots (update = delete +
     // re-insert).
@@ -51,7 +51,10 @@ fn main() {
         .expect("chain ok");
     assert!(after_update.verified);
     assert_eq!(ids(&after_update.records), vec![1, 3, 4]);
-    println!("re-priced #4 to 60; positions < 100 now {:?}", ids(&after_update.records));
+    println!(
+        "re-priced #4 to 60; positions < 100 now {:?}",
+        ids(&after_update.records)
+    );
 
     // Double-close and double-open are rejected (the paper's uniqueness
     // rule for record IDs).
@@ -68,7 +71,10 @@ fn main() {
 }
 
 fn ids(records: &[RecordId]) -> Vec<u64> {
-    let mut v: Vec<u64> = records.iter().map(|r| r.as_u64().expect("u64 ids")).collect();
+    let mut v: Vec<u64> = records
+        .iter()
+        .map(|r| r.as_u64().expect("u64 ids"))
+        .collect();
     v.sort_unstable();
     v
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use slicer_core::{Query, Record, RecordId, SlicerConfig, SlicerSystem};
+use slicer_crypto::Rng;
 use slicer_workload::splitmix_stream;
-use rand::RngCore;
 
 fn main() {
     let mut system = SlicerSystem::setup(SlicerConfig::test_8bit(), 7);
@@ -36,9 +36,8 @@ fn main() {
     let q_age = Query::greater_than(75).on_attr("age");
     let elderly = system.search(&q_age, 500).expect("chain ok");
     assert!(elderly.verified);
-    let oracle = |r: &Record, attr: &str, q: &Query| {
-        r.attrs.iter().any(|(a, v)| a == attr && q.matches(*v))
-    };
+    let oracle =
+        |r: &Record, attr: &str, q: &Query| r.attrs.iter().any(|(a, v)| a == attr && q.matches(*v));
     let expect = patients.iter().filter(|p| oracle(p, "age", &q_age)).count();
     println!(
         "age > 75: {} patients (verified on-chain, {} gas)",
@@ -52,8 +51,14 @@ fn main() {
     let q_hr = Query::less_than(50).on_attr("heart_rate");
     let brady = system.search(&q_hr, 500).expect("chain ok");
     assert!(brady.verified);
-    let expect = patients.iter().filter(|p| oracle(p, "heart_rate", &q_hr)).count();
-    println!("heart_rate < 50: {} patients (verified)", brady.records.len());
+    let expect = patients
+        .iter()
+        .filter(|p| oracle(p, "heart_rate", &q_hr))
+        .count();
+    println!(
+        "heart_rate < 50: {} patients (verified)",
+        brady.records.len()
+    );
     assert_eq!(brady.records.len(), expect);
 
     // Attributes are cryptographically isolated: the same threshold on the
@@ -76,9 +81,7 @@ fn main() {
             )
         })
         .collect();
-    let receipt = system
-        .insert_records(&admissions)
-        .expect("fits the domain");
+    let receipt = system.insert_records(&admissions).expect("fits the domain");
     println!(
         "admitted {} patients; on-chain digest refresh cost {} gas",
         admissions.len(),

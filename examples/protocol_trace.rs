@@ -6,12 +6,17 @@
 //! cargo run --release --example protocol_trace
 //! ```
 
-use slicer_core::{CloudServer, DataOwner, Query, SlicerConfig, RecordId};
+use slicer_core::{CloudServer, DataOwner, Query, RecordId, SlicerConfig};
 use slicer_crypto::HmacDrbg;
 use slicer_sore::{Order, SoreScheme};
 
 fn hex(bytes: &[u8]) -> String {
-    bytes.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>() + "…"
+    bytes
+        .iter()
+        .take(8)
+        .map(|b| format!("{b:02x}"))
+        .collect::<String>()
+        + "…"
 }
 
 fn main() {
@@ -55,7 +60,10 @@ fn main() {
         (RecordId::from_u64(3), 5),
     ];
     let out = owner.build(&db).expect("4-bit domain");
-    println!("records: {:?}", db.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    println!(
+        "records: {:?}",
+        db.iter().map(|(_, v)| *v).collect::<Vec<_>>()
+    );
     println!(
         "keywords (equality + slices): {}",
         owner.state().trapdoors.len()

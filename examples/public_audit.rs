@@ -35,7 +35,10 @@ fn main() {
 
     // 2. Accumulator freshness events.
     let updates = chain.logs_by_topic("AccumulatorUpdated");
-    println!("auditor: {} accumulator update(s) by the owner", updates.len());
+    println!(
+        "auditor: {} accumulator update(s) by the owner",
+        updates.len()
+    );
     assert_eq!(updates.len(), 1, "one build in this scenario");
 
     // 3. Settlement outcomes: request id → paid or refunded.

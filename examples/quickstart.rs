@@ -54,7 +54,9 @@ fn main() {
     system
         .insert(&[(RecordId::from_u64(1_000), 7)])
         .expect("fits the domain");
-    let after = system.search(&Query::less_than(50), 1_000).expect("chain ok");
+    let after = system
+        .search(&Query::less_than(50), 1_000)
+        .expect("chain ok");
     assert!(after.verified);
     assert_eq!(after.records.len(), hits.len() + 1);
     println!("insert visible and still verifiable ✓");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + formatting.
+#
+# The workspace has zero external dependencies (every workspace dependency
+# is a path crate), so everything below runs with --offline from a clean
+# checkout — no network, no registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace --release
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ads_ablation-ee9c05635ef77745.d: crates/bench/benches/ads_ablation.rs
+
+/root/repo/target/debug/deps/ads_ablation-ee9c05635ef77745: crates/bench/benches/ads_ablation.rs
+
+crates/bench/benches/ads_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/build-7e8a816a61ca7a6a.d: crates/bench/benches/build.rs
+
+/root/repo/target/debug/deps/build-7e8a816a61ca7a6a: crates/bench/benches/build.rs
+
+crates/bench/benches/build.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chain_adversarial-69ea35b2609be43b.d: tests/chain_adversarial.rs
+
+/root/repo/target/debug/deps/chain_adversarial-69ea35b2609be43b: tests/chain_adversarial.rs
+
+tests/chain_adversarial.rs:

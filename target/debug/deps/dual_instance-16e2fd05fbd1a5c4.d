@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dual_instance-16e2fd05fbd1a5c4.d: tests/dual_instance.rs
+
+/root/repo/target/debug/deps/dual_instance-16e2fd05fbd1a5c4: tests/dual_instance.rs
+
+tests/dual_instance.rs:

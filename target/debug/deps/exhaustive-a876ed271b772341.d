@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-a876ed271b772341.d: crates/sore/tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-a876ed271b772341: crates/sore/tests/exhaustive.rs
+
+crates/sore/tests/exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-5d8a81c83d17f098.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-5d8a81c83d17f098: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gas-5f15ab859cb29921.d: crates/bench/benches/gas.rs
+
+/root/repo/target/debug/deps/gas-5f15ab859cb29921: crates/bench/benches/gas.rs
+
+crates/bench/benches/gas.rs:

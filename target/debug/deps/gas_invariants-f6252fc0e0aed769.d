@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gas_invariants-f6252fc0e0aed769.d: crates/chain/tests/gas_invariants.rs
+
+/root/repo/target/debug/deps/gas_invariants-f6252fc0e0aed769: crates/chain/tests/gas_invariants.rs
+
+crates/chain/tests/gas_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/insert-44c0904ce36fe694.d: crates/bench/benches/insert.rs
+
+/root/repo/target/debug/deps/insert-44c0904ce36fe694: crates/bench/benches/insert.rs
+
+crates/bench/benches/insert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakage_sim-7d20c55aba9f680a.d: crates/core/tests/leakage_sim.rs
+
+/root/repo/target/debug/deps/leakage_sim-7d20c55aba9f680a: crates/core/tests/leakage_sim.rs
+
+crates/core/tests/leakage_sim.rs:

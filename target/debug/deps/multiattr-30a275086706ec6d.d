@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiattr-30a275086706ec6d.d: tests/multiattr.rs
+
+/root/repo/target/debug/deps/multiattr-30a275086706ec6d: tests/multiattr.rs
+
+tests/multiattr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ore_ablation-195f0f8b447a2241.d: crates/bench/benches/ore_ablation.rs
+
+/root/repo/target/debug/deps/ore_ablation-195f0f8b447a2241: crates/bench/benches/ore_ablation.rs
+
+crates/bench/benches/ore_ablation.rs:

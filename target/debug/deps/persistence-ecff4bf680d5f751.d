@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-ecff4bf680d5f751.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-ecff4bf680d5f751: tests/persistence.rs
+
+tests/persistence.rs:

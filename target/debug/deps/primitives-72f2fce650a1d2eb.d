@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/primitives-72f2fce650a1d2eb.d: crates/bench/benches/primitives.rs
+
+/root/repo/target/debug/deps/primitives-72f2fce650a1d2eb: crates/bench/benches/primitives.rs
+
+crates/bench/benches/primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3758431bb13164ed.d: crates/mshash/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3758431bb13164ed: crates/mshash/tests/properties.rs
+
+crates/mshash/tests/properties.rs:

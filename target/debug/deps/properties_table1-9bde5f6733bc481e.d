@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_table1-9bde5f6733bc481e.d: tests/properties_table1.rs
+
+/root/repo/target/debug/deps/properties_table1-9bde5f6733bc481e: tests/properties_table1.rs
+
+tests/properties_table1.rs:

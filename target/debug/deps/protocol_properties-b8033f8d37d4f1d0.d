@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-b8033f8d37d4f1d0.d: crates/core/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-b8033f8d37d4f1d0: crates/core/tests/protocol_properties.rs
+
+crates/core/tests/protocol_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6288135ca81fd2f6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6288135ca81fd2f6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

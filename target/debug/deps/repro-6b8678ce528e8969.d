@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6b8678ce528e8969.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6b8678ce528e8969: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

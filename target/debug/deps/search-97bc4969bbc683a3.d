@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search-97bc4969bbc683a3.d: crates/bench/benches/search.rs
+
+/root/repo/target/debug/deps/search-97bc4969bbc683a3: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

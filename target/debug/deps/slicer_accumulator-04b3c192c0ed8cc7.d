@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slicer_accumulator-04b3c192c0ed8cc7.d: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+/root/repo/target/debug/deps/libslicer_accumulator-04b3c192c0ed8cc7.rlib: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+/root/repo/target/debug/deps/libslicer_accumulator-04b3c192c0ed8cc7.rmeta: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+crates/accumulator/src/lib.rs:
+crates/accumulator/src/acc.rs:
+crates/accumulator/src/cache.rs:
+crates/accumulator/src/hprime.rs:
+crates/accumulator/src/merkle.rs:
+crates/accumulator/src/nonmembership.rs:
+crates/accumulator/src/params.rs:
+crates/accumulator/src/witness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_bench-49d524a8de94e27c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/slicer_bench-49d524a8de94e27c: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

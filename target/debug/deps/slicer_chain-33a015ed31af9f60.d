@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/slicer_chain-33a015ed31af9f60.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/libslicer_chain-33a015ed31af9f60.rlib: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+/root/repo/target/debug/deps/libslicer_chain-33a015ed31af9f60.rmeta: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/chain.rs:
+crates/chain/src/contract.rs:
+crates/chain/src/error.rs:
+crates/chain/src/gas.rs:
+crates/chain/src/slicer_contract.rs:
+crates/chain/src/tx.rs:
+crates/chain/src/types.rs:

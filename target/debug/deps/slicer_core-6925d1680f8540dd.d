@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slicer_core-6925d1680f8540dd.d: crates/core/src/lib.rs crates/core/src/cloud.rs crates/core/src/config.rs crates/core/src/dual.rs crates/core/src/error.rs crates/core/src/keys.rs crates/core/src/keyword.rs crates/core/src/leakage.rs crates/core/src/messages.rs crates/core/src/owner.rs crates/core/src/record.rs crates/core/src/state.rs crates/core/src/system.rs crates/core/src/user.rs
+
+/root/repo/target/debug/deps/slicer_core-6925d1680f8540dd: crates/core/src/lib.rs crates/core/src/cloud.rs crates/core/src/config.rs crates/core/src/dual.rs crates/core/src/error.rs crates/core/src/keys.rs crates/core/src/keyword.rs crates/core/src/leakage.rs crates/core/src/messages.rs crates/core/src/owner.rs crates/core/src/record.rs crates/core/src/state.rs crates/core/src/system.rs crates/core/src/user.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/config.rs:
+crates/core/src/dual.rs:
+crates/core/src/error.rs:
+crates/core/src/keys.rs:
+crates/core/src/keyword.rs:
+crates/core/src/leakage.rs:
+crates/core/src/messages.rs:
+crates/core/src/owner.rs:
+crates/core/src/record.rs:
+crates/core/src/state.rs:
+crates/core/src/system.rs:
+crates/core/src/user.rs:

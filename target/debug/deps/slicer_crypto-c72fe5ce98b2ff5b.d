@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slicer_crypto-c72fe5ce98b2ff5b.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/codec.rs crates/crypto/src/drbg.rs crates/crypto/src/error.rs crates/crypto/src/hmac_mod.rs crates/crypto/src/prf.rs crates/crypto/src/rng.rs crates/crypto/src/sha256_mod.rs crates/crypto/src/symmetric.rs
+
+/root/repo/target/debug/deps/slicer_crypto-c72fe5ce98b2ff5b: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/codec.rs crates/crypto/src/drbg.rs crates/crypto/src/error.rs crates/crypto/src/hmac_mod.rs crates/crypto/src/prf.rs crates/crypto/src/rng.rs crates/crypto/src/sha256_mod.rs crates/crypto/src/symmetric.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/codec.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac_mod.rs:
+crates/crypto/src/prf.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256_mod.rs:
+crates/crypto/src/symmetric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicer_mshash-1022d03ca5eae7a0.d: crates/mshash/src/lib.rs
+
+/root/repo/target/debug/deps/slicer_mshash-1022d03ca5eae7a0: crates/mshash/src/lib.rs
+
+crates/mshash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_mshash-948950e54c917aea.d: crates/mshash/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_mshash-948950e54c917aea.rlib: crates/mshash/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_mshash-948950e54c917aea.rmeta: crates/mshash/src/lib.rs
+
+crates/mshash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicer_repro-f685ca0ca1a9531e.d: src/lib.rs
+
+/root/repo/target/debug/deps/slicer_repro-f685ca0ca1a9531e: src/lib.rs
+
+src/lib.rs:

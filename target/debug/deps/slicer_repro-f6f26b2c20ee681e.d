@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_repro-f6f26b2c20ee681e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_repro-f6f26b2c20ee681e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_repro-f6f26b2c20ee681e.rmeta: src/lib.rs
+
+src/lib.rs:

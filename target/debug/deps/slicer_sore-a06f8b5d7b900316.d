@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slicer_sore-a06f8b5d7b900316.d: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/debug/deps/slicer_sore-a06f8b5d7b900316: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+crates/sore/src/lib.rs:
+crates/sore/src/baselines/mod.rs:
+crates/sore/src/baselines/clww.rs:
+crates/sore/src/baselines/lewi_wu.rs:
+crates/sore/src/order.rs:
+crates/sore/src/scheme.rs:
+crates/sore/src/tuple.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slicer_sore-ede5f07438c352bc.d: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/debug/deps/libslicer_sore-ede5f07438c352bc.rlib: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/debug/deps/libslicer_sore-ede5f07438c352bc.rmeta: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+crates/sore/src/lib.rs:
+crates/sore/src/baselines/mod.rs:
+crates/sore/src/baselines/clww.rs:
+crates/sore/src/baselines/lewi_wu.rs:
+crates/sore/src/order.rs:
+crates/sore/src/scheme.rs:
+crates/sore/src/tuple.rs:

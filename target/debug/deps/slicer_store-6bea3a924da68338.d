@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slicer_store-6bea3a924da68338.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/debug/deps/libslicer_store-6bea3a924da68338.rlib: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/debug/deps/libslicer_store-6bea3a924da68338.rmeta: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/index.rs:
+crates/store/src/primes.rs:

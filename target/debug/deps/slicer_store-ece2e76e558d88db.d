@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slicer_store-ece2e76e558d88db.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/debug/deps/slicer_store-ece2e76e558d88db: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/index.rs:
+crates/store/src/primes.rs:

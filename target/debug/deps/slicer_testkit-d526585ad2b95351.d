@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicer_testkit-d526585ad2b95351.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libslicer_testkit-d526585ad2b95351.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/libslicer_testkit-d526585ad2b95351.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

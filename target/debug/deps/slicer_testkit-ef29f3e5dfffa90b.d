@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_testkit-ef29f3e5dfffa90b.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/debug/deps/slicer_testkit-ef29f3e5dfffa90b: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

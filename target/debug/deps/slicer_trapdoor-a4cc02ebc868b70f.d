@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicer_trapdoor-a4cc02ebc868b70f.d: crates/trapdoor/src/lib.rs
+
+/root/repo/target/debug/deps/slicer_trapdoor-a4cc02ebc868b70f: crates/trapdoor/src/lib.rs
+
+crates/trapdoor/src/lib.rs:

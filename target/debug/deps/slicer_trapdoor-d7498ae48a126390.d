@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_trapdoor-d7498ae48a126390.d: crates/trapdoor/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_trapdoor-d7498ae48a126390.rlib: crates/trapdoor/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_trapdoor-d7498ae48a126390.rmeta: crates/trapdoor/src/lib.rs
+
+crates/trapdoor/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicer_workload-113d4ce8b0c2aa2b.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/slicer_workload-113d4ce8b0c2aa2b: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

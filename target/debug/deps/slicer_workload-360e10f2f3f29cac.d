@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicer_workload-360e10f2f3f29cac.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_workload-360e10f2f3f29cac.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libslicer_workload-360e10f2f3f29cac.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-cea851b99df91819.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-cea851b99df91819: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-2c34a92de1d2d31a.d: crates/bignum/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-2c34a92de1d2d31a: crates/bignum/tests/stress.rs
+
+crates/bignum/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trapdoor-29bbef9d48ba3532.d: crates/bench/benches/trapdoor.rs
+
+/root/repo/target/debug/deps/trapdoor-29bbef9d48ba3532: crates/bench/benches/trapdoor.rs
+
+crates/bench/benches/trapdoor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vectors-ca6920b91c4769e6.d: crates/crypto/tests/vectors.rs
+
+/root/repo/target/debug/deps/vectors-ca6920b91c4769e6: crates/crypto/tests/vectors.rs
+
+crates/crypto/tests/vectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_portfolio-fdda1a2361671aff.d: examples/dynamic_portfolio.rs
+
+/root/repo/target/debug/examples/dynamic_portfolio-fdda1a2361671aff: examples/dynamic_portfolio.rs
+
+examples/dynamic_portfolio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_records-4d830e4e9afa13ff.d: examples/medical_records.rs
+
+/root/repo/target/debug/examples/medical_records-4d830e4e9afa13ff: examples/medical_records.rs
+
+examples/medical_records.rs:

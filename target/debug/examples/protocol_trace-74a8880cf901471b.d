@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_trace-74a8880cf901471b.d: examples/protocol_trace.rs
+
+/root/repo/target/debug/examples/protocol_trace-74a8880cf901471b: examples/protocol_trace.rs
+
+examples/protocol_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/public_audit-5cbb5f4b2eec1875.d: examples/public_audit.rs
+
+/root/repo/target/debug/examples/public_audit-5cbb5f4b2eec1875: examples/public_audit.rs
+
+examples/public_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-322f041aa7b00d50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-322f041aa7b00d50: examples/quickstart.rs
+
+examples/quickstart.rs:

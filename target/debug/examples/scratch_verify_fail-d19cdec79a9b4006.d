@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scratch_verify_fail-d19cdec79a9b4006.d: crates/testkit/examples/scratch_verify_fail.rs
+
+/root/repo/target/debug/examples/scratch_verify_fail-d19cdec79a9b4006: crates/testkit/examples/scratch_verify_fail.rs
+
+crates/testkit/examples/scratch_verify_fail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trading_audit-467cc4f42b5399f2.d: examples/trading_audit.rs
+
+/root/repo/target/debug/examples/trading_audit-467cc4f42b5399f2: examples/trading_audit.rs
+
+examples/trading_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chain_adversarial-4afdbdb26d6bee82.d: tests/chain_adversarial.rs
+
+/root/repo/target/release/deps/chain_adversarial-4afdbdb26d6bee82: tests/chain_adversarial.rs
+
+tests/chain_adversarial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-541f71fe7d847645.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-541f71fe7d847645: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dual_instance-eba1f079c6efe10d.d: tests/dual_instance.rs
+
+/root/repo/target/release/deps/dual_instance-eba1f079c6efe10d: tests/dual_instance.rs
+
+tests/dual_instance.rs:

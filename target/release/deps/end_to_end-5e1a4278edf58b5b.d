@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-5e1a4278edf58b5b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-5e1a4278edf58b5b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

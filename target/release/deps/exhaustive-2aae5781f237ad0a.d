@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exhaustive-2aae5781f237ad0a.d: crates/sore/tests/exhaustive.rs
+
+/root/repo/target/release/deps/exhaustive-2aae5781f237ad0a: crates/sore/tests/exhaustive.rs
+
+crates/sore/tests/exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-5bfd950d5196a5ee.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-5bfd950d5196a5ee: tests/failure_injection.rs
+
+tests/failure_injection.rs:

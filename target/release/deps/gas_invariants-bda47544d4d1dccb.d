@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gas_invariants-bda47544d4d1dccb.d: crates/chain/tests/gas_invariants.rs
+
+/root/repo/target/release/deps/gas_invariants-bda47544d4d1dccb: crates/chain/tests/gas_invariants.rs
+
+crates/chain/tests/gas_invariants.rs:

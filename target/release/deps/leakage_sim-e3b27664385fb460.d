@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leakage_sim-e3b27664385fb460.d: crates/core/tests/leakage_sim.rs
+
+/root/repo/target/release/deps/leakage_sim-e3b27664385fb460: crates/core/tests/leakage_sim.rs
+
+crates/core/tests/leakage_sim.rs:

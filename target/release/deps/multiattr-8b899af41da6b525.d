@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiattr-8b899af41da6b525.d: tests/multiattr.rs
+
+/root/repo/target/release/deps/multiattr-8b899af41da6b525: tests/multiattr.rs
+
+tests/multiattr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-1a44885feef507b2.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-1a44885feef507b2: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e41494dde6688402.d: crates/mshash/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e41494dde6688402: crates/mshash/tests/properties.rs
+
+crates/mshash/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties_table1-466026f72a6ec185.d: tests/properties_table1.rs
+
+/root/repo/target/release/deps/properties_table1-466026f72a6ec185: tests/properties_table1.rs
+
+tests/properties_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_properties-9b2d7f4871eacd02.d: crates/core/tests/protocol_properties.rs
+
+/root/repo/target/release/deps/protocol_properties-9b2d7f4871eacd02: crates/core/tests/protocol_properties.rs
+
+crates/core/tests/protocol_properties.rs:

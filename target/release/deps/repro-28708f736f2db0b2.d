@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-28708f736f2db0b2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-28708f736f2db0b2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

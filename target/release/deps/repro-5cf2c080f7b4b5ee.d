@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5cf2c080f7b4b5ee.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5cf2c080f7b4b5ee: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/slicer_accumulator-69d4638c85ac1df1.d: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+/root/repo/target/release/deps/libslicer_accumulator-69d4638c85ac1df1.rlib: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+/root/repo/target/release/deps/libslicer_accumulator-69d4638c85ac1df1.rmeta: crates/accumulator/src/lib.rs crates/accumulator/src/acc.rs crates/accumulator/src/cache.rs crates/accumulator/src/hprime.rs crates/accumulator/src/merkle.rs crates/accumulator/src/nonmembership.rs crates/accumulator/src/params.rs crates/accumulator/src/witness.rs
+
+crates/accumulator/src/lib.rs:
+crates/accumulator/src/acc.rs:
+crates/accumulator/src/cache.rs:
+crates/accumulator/src/hprime.rs:
+crates/accumulator/src/merkle.rs:
+crates/accumulator/src/nonmembership.rs:
+crates/accumulator/src/params.rs:
+crates/accumulator/src/witness.rs:

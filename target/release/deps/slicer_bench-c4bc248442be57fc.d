@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_bench-c4bc248442be57fc.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/slicer_bench-c4bc248442be57fc: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

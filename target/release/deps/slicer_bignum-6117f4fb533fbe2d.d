@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/slicer_bignum-6117f4fb533fbe2d.d: crates/bignum/src/lib.rs crates/bignum/src/arith.rs crates/bignum/src/bits.rs crates/bignum/src/codec_impl.rs crates/bignum/src/convert.rs crates/bignum/src/div.rs crates/bignum/src/fmt.rs crates/bignum/src/gcd.rs crates/bignum/src/modular.rs crates/bignum/src/montgomery.rs crates/bignum/src/prime.rs crates/bignum/src/random.rs crates/bignum/src/uint.rs
+
+/root/repo/target/release/deps/slicer_bignum-6117f4fb533fbe2d: crates/bignum/src/lib.rs crates/bignum/src/arith.rs crates/bignum/src/bits.rs crates/bignum/src/codec_impl.rs crates/bignum/src/convert.rs crates/bignum/src/div.rs crates/bignum/src/fmt.rs crates/bignum/src/gcd.rs crates/bignum/src/modular.rs crates/bignum/src/montgomery.rs crates/bignum/src/prime.rs crates/bignum/src/random.rs crates/bignum/src/uint.rs
+
+crates/bignum/src/lib.rs:
+crates/bignum/src/arith.rs:
+crates/bignum/src/bits.rs:
+crates/bignum/src/codec_impl.rs:
+crates/bignum/src/convert.rs:
+crates/bignum/src/div.rs:
+crates/bignum/src/fmt.rs:
+crates/bignum/src/gcd.rs:
+crates/bignum/src/modular.rs:
+crates/bignum/src/montgomery.rs:
+crates/bignum/src/prime.rs:
+crates/bignum/src/random.rs:
+crates/bignum/src/uint.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/slicer_chain-031304c5becf193c.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+/root/repo/target/release/deps/libslicer_chain-031304c5becf193c.rlib: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+/root/repo/target/release/deps/libslicer_chain-031304c5becf193c.rmeta: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/chain.rs:
+crates/chain/src/contract.rs:
+crates/chain/src/error.rs:
+crates/chain/src/gas.rs:
+crates/chain/src/slicer_contract.rs:
+crates/chain/src/tx.rs:
+crates/chain/src/types.rs:

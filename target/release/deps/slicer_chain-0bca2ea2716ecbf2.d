@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/slicer_chain-0bca2ea2716ecbf2.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+/root/repo/target/release/deps/slicer_chain-0bca2ea2716ecbf2: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/chain.rs crates/chain/src/contract.rs crates/chain/src/error.rs crates/chain/src/gas.rs crates/chain/src/slicer_contract.rs crates/chain/src/tx.rs crates/chain/src/types.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/chain.rs:
+crates/chain/src/contract.rs:
+crates/chain/src/error.rs:
+crates/chain/src/gas.rs:
+crates/chain/src/slicer_contract.rs:
+crates/chain/src/tx.rs:
+crates/chain/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/slicer_crypto-435a92e592e08f17.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/codec.rs crates/crypto/src/drbg.rs crates/crypto/src/error.rs crates/crypto/src/hmac_mod.rs crates/crypto/src/prf.rs crates/crypto/src/rng.rs crates/crypto/src/sha256_mod.rs crates/crypto/src/symmetric.rs
+
+/root/repo/target/release/deps/libslicer_crypto-435a92e592e08f17.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/codec.rs crates/crypto/src/drbg.rs crates/crypto/src/error.rs crates/crypto/src/hmac_mod.rs crates/crypto/src/prf.rs crates/crypto/src/rng.rs crates/crypto/src/sha256_mod.rs crates/crypto/src/symmetric.rs
+
+/root/repo/target/release/deps/libslicer_crypto-435a92e592e08f17.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/codec.rs crates/crypto/src/drbg.rs crates/crypto/src/error.rs crates/crypto/src/hmac_mod.rs crates/crypto/src/prf.rs crates/crypto/src/rng.rs crates/crypto/src/sha256_mod.rs crates/crypto/src/symmetric.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/codec.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac_mod.rs:
+crates/crypto/src/prf.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256_mod.rs:
+crates/crypto/src/symmetric.rs:

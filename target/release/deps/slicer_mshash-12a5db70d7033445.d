@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicer_mshash-12a5db70d7033445.d: crates/mshash/src/lib.rs
+
+/root/repo/target/release/deps/slicer_mshash-12a5db70d7033445: crates/mshash/src/lib.rs
+
+crates/mshash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_mshash-95249c6cf3f56852.d: crates/mshash/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_mshash-95249c6cf3f56852.rlib: crates/mshash/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_mshash-95249c6cf3f56852.rmeta: crates/mshash/src/lib.rs
+
+crates/mshash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_repro-4e4f3c03550ecca5.d: src/lib.rs
+
+/root/repo/target/release/deps/libslicer_repro-4e4f3c03550ecca5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libslicer_repro-4e4f3c03550ecca5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicer_repro-f5904bea39711757.d: src/lib.rs
+
+/root/repo/target/release/deps/slicer_repro-f5904bea39711757: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/slicer_sore-6333396bb54ec18e.d: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/release/deps/slicer_sore-6333396bb54ec18e: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+crates/sore/src/lib.rs:
+crates/sore/src/baselines/mod.rs:
+crates/sore/src/baselines/clww.rs:
+crates/sore/src/baselines/lewi_wu.rs:
+crates/sore/src/order.rs:
+crates/sore/src/scheme.rs:
+crates/sore/src/tuple.rs:

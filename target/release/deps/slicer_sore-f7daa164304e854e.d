@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/slicer_sore-f7daa164304e854e.d: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/release/deps/libslicer_sore-f7daa164304e854e.rlib: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+/root/repo/target/release/deps/libslicer_sore-f7daa164304e854e.rmeta: crates/sore/src/lib.rs crates/sore/src/baselines/mod.rs crates/sore/src/baselines/clww.rs crates/sore/src/baselines/lewi_wu.rs crates/sore/src/order.rs crates/sore/src/scheme.rs crates/sore/src/tuple.rs
+
+crates/sore/src/lib.rs:
+crates/sore/src/baselines/mod.rs:
+crates/sore/src/baselines/clww.rs:
+crates/sore/src/baselines/lewi_wu.rs:
+crates/sore/src/order.rs:
+crates/sore/src/scheme.rs:
+crates/sore/src/tuple.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/slicer_store-b3cdd7e29d26723b.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/release/deps/slicer_store-b3cdd7e29d26723b: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/index.rs:
+crates/store/src/primes.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slicer_store-cf9a132e20e6bada.d: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/release/deps/libslicer_store-cf9a132e20e6bada.rlib: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+/root/repo/target/release/deps/libslicer_store-cf9a132e20e6bada.rmeta: crates/store/src/lib.rs crates/store/src/codec.rs crates/store/src/index.rs crates/store/src/primes.rs
+
+crates/store/src/lib.rs:
+crates/store/src/codec.rs:
+crates/store/src/index.rs:
+crates/store/src/primes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_testkit-22bc4779fcffff4f.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/slicer_testkit-22bc4779fcffff4f: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

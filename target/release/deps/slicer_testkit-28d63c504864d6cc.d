@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/slicer_testkit-28d63c504864d6cc.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libslicer_testkit-28d63c504864d6cc.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+/root/repo/target/release/deps/libslicer_testkit-28d63c504864d6cc.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_trapdoor-b76b715357a1c3f1.d: crates/trapdoor/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_trapdoor-b76b715357a1c3f1.rlib: crates/trapdoor/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_trapdoor-b76b715357a1c3f1.rmeta: crates/trapdoor/src/lib.rs
+
+crates/trapdoor/src/lib.rs:

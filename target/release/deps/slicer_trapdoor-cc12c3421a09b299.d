@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicer_trapdoor-cc12c3421a09b299.d: crates/trapdoor/src/lib.rs
+
+/root/repo/target/release/deps/slicer_trapdoor-cc12c3421a09b299: crates/trapdoor/src/lib.rs
+
+crates/trapdoor/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slicer_workload-948f7573097c86b3.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_workload-948f7573097c86b3.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libslicer_workload-948f7573097c86b3.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

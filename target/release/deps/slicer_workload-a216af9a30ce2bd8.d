@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicer_workload-a216af9a30ce2bd8.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/slicer_workload-a216af9a30ce2bd8: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-2be852ca2b27b5b6.d: tests/soak.rs
+
+/root/repo/target/release/deps/soak-2be852ca2b27b5b6: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-66cf2d984c2654b4.d: crates/bignum/tests/stress.rs
+
+/root/repo/target/release/deps/stress-66cf2d984c2654b4: crates/bignum/tests/stress.rs
+
+crates/bignum/tests/stress.rs:

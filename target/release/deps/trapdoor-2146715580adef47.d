@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trapdoor-2146715580adef47.d: crates/bench/benches/trapdoor.rs
+
+/root/repo/target/release/deps/trapdoor-2146715580adef47: crates/bench/benches/trapdoor.rs
+
+crates/bench/benches/trapdoor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vectors-e7f1116d51a12328.d: crates/crypto/tests/vectors.rs
+
+/root/repo/target/release/deps/vectors-e7f1116d51a12328: crates/crypto/tests/vectors.rs
+
+crates/crypto/tests/vectors.rs:

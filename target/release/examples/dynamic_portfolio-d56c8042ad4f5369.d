@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_portfolio-d56c8042ad4f5369.d: examples/dynamic_portfolio.rs
+
+/root/repo/target/release/examples/dynamic_portfolio-d56c8042ad4f5369: examples/dynamic_portfolio.rs
+
+examples/dynamic_portfolio.rs:

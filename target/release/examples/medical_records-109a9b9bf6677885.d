@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/medical_records-109a9b9bf6677885.d: examples/medical_records.rs
+
+/root/repo/target/release/examples/medical_records-109a9b9bf6677885: examples/medical_records.rs
+
+examples/medical_records.rs:

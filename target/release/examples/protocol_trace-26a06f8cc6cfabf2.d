@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_trace-26a06f8cc6cfabf2.d: examples/protocol_trace.rs
+
+/root/repo/target/release/examples/protocol_trace-26a06f8cc6cfabf2: examples/protocol_trace.rs
+
+examples/protocol_trace.rs:

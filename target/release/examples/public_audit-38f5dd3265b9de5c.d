@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/public_audit-38f5dd3265b9de5c.d: examples/public_audit.rs
+
+/root/repo/target/release/examples/public_audit-38f5dd3265b9de5c: examples/public_audit.rs
+
+examples/public_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f9710938c43544cc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f9710938c43544cc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trading_audit-c5888103bc4412af.d: examples/trading_audit.rs
+
+/root/repo/target/release/examples/trading_audit-c5888103bc4412af: examples/trading_audit.rs
+
+examples/trading_audit.rs:

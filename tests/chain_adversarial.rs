@@ -30,11 +30,11 @@ fn funded_chain_with_contract() -> (Blockchain, Address, Address) {
 fn malformed_calldata_reverts_cleanly() {
     let (mut chain, owner, contract) = funded_chain_with_contract();
     for data in [
-        vec![],                      // empty
-        vec![0xFF],                  // unknown selector
-        vec![0x01, 0x00],            // truncated SetAccumulator
-        vec![0x02; 10],              // truncated RequestSearch
-        vec![0x03, 1, 2, 3],         // truncated SubmitResult
+        vec![],              // empty
+        vec![0xFF],          // unknown selector
+        vec![0x01, 0x00],    // truncated SetAccumulator
+        vec![0x02; 10],      // truncated RequestSearch
+        vec![0x03, 1, 2, 3], // truncated SubmitResult
     ] {
         let r = chain
             .send_transaction(Transaction::call(owner, contract, 0, data.clone()))
@@ -89,8 +89,9 @@ fn settled_request_cannot_be_resubmitted() {
     // A cheating cloud cannot retry after losing, nor double-claim after
     // winning: the request record is consumed at settlement.
     let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 42);
-    let db: Vec<(RecordId, u64)> =
-        (0u64..30).map(|i| (RecordId::from_u64(i), i % 256)).collect();
+    let db: Vec<(RecordId, u64)> = (0u64..30)
+        .map(|i| (RecordId::from_u64(i), i % 256))
+        .collect();
     sys.build(&db).unwrap();
     let out = sys.search(&Query::less_than(10), 100).unwrap();
     assert!(out.verified);
@@ -118,8 +119,9 @@ fn settled_request_cannot_be_resubmitted() {
 #[test]
 fn verification_runs_out_of_gas_gracefully() {
     let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 43);
-    let db: Vec<(RecordId, u64)> =
-        (0u64..30).map(|i| (RecordId::from_u64(i), i % 256)).collect();
+    let db: Vec<(RecordId, u64)> = (0u64..30)
+        .map(|i| (RecordId::from_u64(i), i % 256))
+        .collect();
     sys.build(&db).unwrap();
 
     // Register a request, then submit with a gas limit too small for the

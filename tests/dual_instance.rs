@@ -2,8 +2,8 @@
 //! lifecycles, checked against a live plaintext model.
 
 use slicer_core::{DualSlicer, Query, RecordId, SlicerConfig};
+use slicer_crypto::Rng;
 use slicer_workload::splitmix_stream;
-use rand::RngCore;
 use std::collections::HashMap;
 
 fn ids(records: &[RecordId]) -> Vec<u64> {

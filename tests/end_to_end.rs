@@ -66,7 +66,12 @@ fn interleaved_inserts_and_searches() {
     let (mut sys, mut db) = load(150, 8, 6);
     for round in 0u64..4 {
         let new: Vec<(RecordId, u64)> = (0..25)
-            .map(|i| (RecordId::from_u64(10_000 + round * 100 + i), (round * 50 + i) % 256))
+            .map(|i| {
+                (
+                    RecordId::from_u64(10_000 + round * 100 + i),
+                    (round * 50 + i) % 256,
+                )
+            })
             .collect();
         sys.insert(&new).expect("fits domain");
         db.extend(new);

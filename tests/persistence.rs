@@ -8,8 +8,9 @@ use slicer_store::CloudState;
 
 fn owner_with_data() -> (DataOwner, BuildOutput) {
     let mut owner = DataOwner::new(SlicerConfig::test_8bit(), 61);
-    let db: Vec<(RecordId, u64)> =
-        (0..40u64).map(|i| (RecordId::from_u64(i), (i * 11) % 256)).collect();
+    let db: Vec<(RecordId, u64)> = (0..40u64)
+        .map(|i| (RecordId::from_u64(i), (i * 11) % 256))
+        .collect();
     let out = owner.build(&db).unwrap();
     (owner, out)
 }

@@ -94,7 +94,11 @@ fn property_forward_security_old_tokens_miss_new_data() {
 
     // The cloud, replaying the OLD token, recovers only the old record.
     let old_results = sys.instance().cloud.search(&old_tokens);
-    assert_eq!(old_results[0].er.len(), 1, "new record invisible to old token");
+    assert_eq!(
+        old_results[0].er.len(),
+        1,
+        "new record invisible to old token"
+    );
 
     // The fresh token reaches both generations.
     let new_tokens = sys.instance().user.tokens_for(&Query::equal(99));
@@ -156,8 +160,9 @@ fn property_fairness_payment_follows_verification() {
     // Fairness: the user cannot deny a correct result (contract pays the
     // cloud), and the cloud cannot take the fee for a wrong one.
     let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 7);
-    let db: Vec<(RecordId, u64)> =
-        (0u64..50).map(|i| (RecordId::from_u64(i), i % 256)).collect();
+    let db: Vec<(RecordId, u64)> = (0u64..50)
+        .map(|i| (RecordId::from_u64(i), i % 256))
+        .collect();
     sys.build(&db).unwrap();
     let (_, user, cloud) = sys.instance().addresses();
 
@@ -169,7 +174,11 @@ fn property_fairness_payment_follows_verification() {
     assert_eq!(sys.chain().balance(&cloud), c0 + 999);
 
     let cheat = sys
-        .search_with(&Query::less_than(25), 999, slicer_core::malicious::drop_record)
+        .search_with(
+            &Query::less_than(25),
+            999,
+            slicer_core::malicious::drop_record,
+        )
         .unwrap();
     assert!(!cheat.verified && !cheat.paid_cloud);
     assert_eq!(sys.chain().balance(&user), u0 - 999, "second fee refunded");

@@ -3,8 +3,8 @@
 //! checked at every step and chain integrity at the end.
 
 use slicer_core::{Query, RecordId, SlicerConfig, SlicerSystem};
+use slicer_crypto::Rng;
 use slicer_workload::splitmix_stream;
-use rand::RngCore;
 
 #[test]
 fn interleaved_16bit_lifecycle() {
