@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-64fb417d50d63be4.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-64fb417d50d63be4: tests/determinism.rs
+
+tests/determinism.rs:
