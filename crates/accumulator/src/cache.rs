@@ -54,7 +54,13 @@ impl WitnessCache {
 
     /// Looks up the witness for a prime.
     pub fn get(&self, prime: &BigUint) -> Option<&BigUint> {
-        self.witnesses.get(prime)
+        let hit = self.witnesses.get(prime);
+        if hit.is_some() {
+            slicer_telemetry::global::count("accumulator.cache.hit", 1);
+        } else {
+            slicer_telemetry::global::count("accumulator.cache.miss", 1);
+        }
+        hit
     }
 
     /// Incorporates the primes appended to `primes` since the last

@@ -25,6 +25,7 @@ use slicer_bignum::BigUint;
 /// Panics if `target >= primes.len()`.
 pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize) -> BigUint {
     assert!(target < primes.len(), "target index out of range");
+    slicer_telemetry::global::count("accumulator.witness.direct", 1);
     let mut w = params.generator().clone();
     for (i, p) in primes.iter().enumerate() {
         if i != target {
@@ -46,6 +47,7 @@ pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) 
     if targets.is_empty() {
         return Vec::new();
     }
+    slicer_telemetry::global::count("accumulator.witness.batched", targets.len() as u64);
     let mut in_targets = vec![false; primes.len()];
     for &t in targets {
         assert!(t < primes.len(), "target index out of range");

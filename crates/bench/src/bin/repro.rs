@@ -5,7 +5,9 @@
 //! ```
 //!
 //! * `--experiment` — `all` (default), `fig3`, `fig4` (runs with fig3),
-//!   `fig5`, `fig6` (runs with fig5), `fig7`, `table2`.
+//!   `fig5`, `fig6` (runs with fig5), `fig7`, `table2`, `bench`
+//!   (telemetry phase profile; writes `BENCH_build.json` /
+//!   `BENCH_search.json` into the `--csv` directory).
 //! * `--scale` — multiplier on the paper's 10K–160K record sweep
 //!   (default 0.05; use 1.0 for the full-size runs).
 //! * `--queries` — queries averaged per search data point (default 3).
@@ -54,7 +56,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|fig3|fig5|fig7|table2] [--scale F] [--queries N] [--csv DIR]"
+                    "usage: repro [--experiment all|fig3|fig5|fig7|table2|bench] [--scale F] [--queries N] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +89,9 @@ fn main() {
         | "fig6d" => experiments::search_experiments(args.scale, &[8, 16], args.queries),
         "fig7" => experiments::insert_experiment(args.scale, &[8, 16, 24]),
         "table2" => experiments::gas_experiment(),
+        "bench" | "telemetry" => {
+            experiments::telemetry_experiment(args.scale, args.queries, args.csv.as_deref())
+        }
         other => {
             eprintln!("unknown experiment {other}; try --help");
             std::process::exit(2);

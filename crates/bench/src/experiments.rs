@@ -271,6 +271,84 @@ pub fn gas_experiment() -> Vec<Table> {
     vec![t]
 }
 
+/// The telemetry profiling experiment: one deployment built and searched
+/// under an enabled telemetry context. Exports the build-phase and
+/// search-phase registries as `BENCH_build.json` / `BENCH_search.json` in
+/// `out` (when given) and returns a per-phase latency + gas table.
+pub fn telemetry_experiment(
+    scale: f64,
+    queries: usize,
+    out: Option<&std::path::Path>,
+) -> Vec<Table> {
+    use slicer_telemetry::{global, Snapshot, TelemetryHandle};
+
+    let n = record_sweep(scale)[0];
+    let db = dataset(n, 8, 42);
+
+    // Build under its own registry (global facade captures the leaf-crate
+    // counters: SORE tuples, index lookups, witness generation).
+    let build_handle = TelemetryHandle::enabled();
+    global::set(build_handle.clone());
+    let mut sys = SlicerSystem::setup_with(SlicerConfig::test_8bit(), 42, build_handle.clone());
+    sys.build(&db).expect("in-domain");
+    let build_snap = build_handle.snapshot();
+
+    // Search the same deployment under a fresh registry.
+    let search_handle = TelemetryHandle::enabled();
+    sys.instance_mut().set_telemetry(search_handle.clone());
+    global::set(search_handle.clone());
+    let raw: Vec<([u8; 16], u64)> = db.iter().map(|(id, v)| (id.0, *v)).collect();
+    for &v in &sample_query_values(&raw, queries, 7) {
+        let outcome = sys
+            .search(&Query::less_than(v), 1_000)
+            .expect("search succeeds");
+        assert!(outcome.verified, "honest searches verify");
+        assert_eq!(
+            outcome.profile.total_gas(),
+            outcome.request_gas + outcome.verify_gas,
+            "phase gas must reconcile with the receipts"
+        );
+    }
+    let search_snap = search_handle.snapshot();
+    global::reset();
+
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("results directory is creatable");
+        std::fs::write(dir.join("BENCH_build.json"), build_snap.to_json())
+            .expect("results directory is writable");
+        std::fs::write(dir.join("BENCH_search.json"), search_snap.to_json())
+            .expect("results directory is writable");
+    }
+
+    let mut t = Table::new(
+        "bench",
+        "Telemetry: per-phase latency and gas (see results/BENCH_*.json)",
+        &["phase", "mean (ms)", "p99 (ms)", "gas"],
+    );
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut push_phase = |snap: &Snapshot, phase: &str| {
+        let hist = snap
+            .histogram(&format!("phase.{phase}.ns"))
+            .expect("phase recorded");
+        let gas = snap
+            .counter(&format!("phase.{phase}.gas"))
+            .expect("phase gas recorded");
+        t.push_row(vec![
+            phase.to_string(),
+            ms(hist.mean()),
+            ms(hist.p99),
+            gas.to_string(),
+        ]);
+    };
+    for phase in ["setup", "build"] {
+        push_phase(&build_snap, phase);
+    }
+    for phase in ["token", "search", "verify", "settle"] {
+        push_phase(&search_snap, phase);
+    }
+    vec![t]
+}
+
 /// Runs every experiment at the given scale.
 pub fn all(scale: f64, queries: usize) -> Vec<Table> {
     let mut out = build_experiments(scale, &[8, 16, 24]);
@@ -299,6 +377,22 @@ mod tests {
         assert!((600_000..900_000).contains(&deploy), "deploy {deploy}");
         assert!((24_000..40_000).contains(&insert), "insert {insert}");
         assert!((50_000..200_000).contains(&verify), "verify {verify}");
+    }
+
+    #[test]
+    fn telemetry_experiment_covers_all_phases() {
+        let t = &telemetry_experiment(0.001, 1, None)[0];
+        let phases: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(
+            phases,
+            ["setup", "build", "token", "search", "verify", "settle"]
+        );
+        for r in &t.rows {
+            let gas: u64 = r[3].parse().expect("numeric gas");
+            if matches!(r[0].as_str(), "setup" | "build" | "token" | "verify") {
+                assert!(gas > 0, "{} must consume gas", r[0]);
+            }
+        }
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
             status: TxStatus::Succeeded,
             output: vec![],
             logs: vec![],
+            gas_breakdown: Default::default(),
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::block::Block;
 use crate::contract::{Contract, ContractStorage};
 use crate::error::ChainError;
-use crate::gas::{GasMeter, GasSchedule};
+use crate::gas::{GasBreakdown, GasCategory, GasMeter, GasSchedule};
 use crate::tx::{Transaction, TxReceipt, TxStatus};
 use crate::types::{Address, H256};
 use crate::CallContext;
@@ -153,10 +153,16 @@ impl Blockchain {
             n
         };
         let code = contract.code();
-        let gas_used = self.schedule.tx_base
-            + self.schedule.tx_create
-            + self.schedule.calldata_cost(&code)
-            + self.schedule.code_deposit * code.len() as u64;
+        let mut gas_breakdown = GasBreakdown::default();
+        gas_breakdown.add(
+            GasCategory::Intrinsic,
+            self.schedule.tx_base + self.schedule.tx_create + self.schedule.calldata_cost(&code),
+        );
+        gas_breakdown.add(
+            GasCategory::CodeDeposit,
+            self.schedule.code_deposit * code.len() as u64,
+        );
+        let gas_used = gas_breakdown.total();
         let address = Address::for_contract(&from, nonce);
         self.contracts.insert(
             address,
@@ -176,6 +182,7 @@ impl Blockchain {
             status: TxStatus::Succeeded,
             output: address.0.to_vec(),
             logs: Vec::new(),
+            gas_breakdown,
         };
         self.pending.push(receipt.clone());
         Ok(DeployOutcome {
@@ -231,6 +238,8 @@ impl Blockchain {
         meter
             .charge(intrinsic)
             .expect("intrinsic fits: checked above");
+        let mut gas_breakdown = GasBreakdown::default();
+        gas_breakdown.add(GasCategory::Intrinsic, intrinsic);
 
         // Execute against a copy of storage so reverts roll back cleanly.
         let deployed = self.contracts.get_mut(&tx.to).expect("checked above");
@@ -247,6 +256,7 @@ impl Blockchain {
                 schedule: &self.schedule,
                 payouts: &mut payouts,
                 logs: &mut logs,
+                breakdown: &mut gas_breakdown,
             };
             deployed.contract.execute(&mut ctx, &tx.data)
         };
@@ -286,6 +296,7 @@ impl Blockchain {
             status,
             output,
             logs,
+            gas_breakdown,
         };
         self.pending.push(receipt.clone());
         Ok(receipt)
@@ -436,6 +447,36 @@ mod tests {
             .unwrap();
         assert!(!r.status.is_success());
         assert!(r.logs.is_empty(), "reverted calls emit nothing");
+    }
+
+    #[test]
+    fn breakdown_reconciles_with_gas_used() {
+        let (mut chain, user, addr) = setup();
+        let r = chain
+            .send_transaction(Transaction::call(user, addr, 0, vec![0x01]))
+            .unwrap();
+        assert_eq!(r.gas_breakdown.total(), r.gas_used);
+        assert!(r.gas_breakdown.intrinsic >= 21_000);
+        assert_eq!(r.gas_breakdown.sload, 800);
+        assert_eq!(r.gas_breakdown.sstore, 20_000);
+
+        // Out-of-gas abort: the truncated charge still reconciles.
+        let mut tx = Transaction::call(user, addr, 0, vec![0x01]);
+        tx.gas_limit = 22_000;
+        let r = chain.send_transaction(tx).unwrap();
+        assert!(!r.status.is_success());
+        assert_eq!(r.gas_breakdown.total(), r.gas_used);
+        assert_eq!(r.gas_used, 22_000);
+    }
+
+    #[test]
+    fn deploy_breakdown_reconciles() {
+        let mut chain = Blockchain::new();
+        let u = Address::from_byte(3);
+        chain.create_account(u, 0);
+        let out = chain.deploy_contract(u, Box::new(Counter), 0).unwrap();
+        assert_eq!(out.receipt.gas_breakdown.total(), out.gas_used);
+        assert_eq!(out.receipt.gas_breakdown.code_deposit, 20_000);
     }
 
     #[test]

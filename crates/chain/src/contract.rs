@@ -1,7 +1,7 @@
 //! The native-contract execution interface.
 
 use crate::error::ContractError;
-use crate::gas::{GasMeter, GasSchedule};
+use crate::gas::{GasBreakdown, GasCategory, GasMeter, GasSchedule};
 use crate::types::Address;
 use std::collections::HashMap;
 
@@ -25,16 +25,31 @@ pub struct CallContext<'a> {
     pub(crate) schedule: &'a GasSchedule,
     pub(crate) payouts: &'a mut Vec<(Address, u128)>,
     pub(crate) logs: &'a mut Vec<crate::tx::LogEvent>,
+    pub(crate) breakdown: &'a mut GasBreakdown,
 }
 
 impl CallContext<'_> {
-    /// Charges raw gas.
+    /// Charges raw gas, attributed to [`GasCategory::Other`].
     ///
     /// # Errors
     ///
     /// Propagates [`ContractError::OutOfGas`].
     pub fn charge(&mut self, gas: u64) -> Result<(), ContractError> {
-        self.meter.charge(gas)
+        self.charge_as(GasCategory::Other, gas)
+    }
+
+    /// Charges gas attributed to a category. The attribution records the
+    /// meter's actual delta (not the requested amount), so on an
+    /// out-of-gas abort the breakdown still sums exactly to `gas_used`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ContractError::OutOfGas`].
+    pub fn charge_as(&mut self, category: GasCategory, gas: u64) -> Result<(), ContractError> {
+        let before = self.meter.used();
+        let result = self.meter.charge(gas);
+        self.breakdown.add(category, self.meter.used() - before);
+        result
     }
 
     /// The active gas schedule.
@@ -48,7 +63,7 @@ impl CallContext<'_> {
     ///
     /// Propagates [`ContractError::OutOfGas`].
     pub fn sload(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ContractError> {
-        self.meter.charge(self.schedule.sload)?;
+        self.charge_as(GasCategory::Sload, self.schedule.sload)?;
         Ok(self.storage.get(key).cloned())
     }
 
@@ -66,7 +81,7 @@ impl CallContext<'_> {
         } else {
             self.schedule.sstore_set * words
         };
-        self.meter.charge(cost)?;
+        self.charge_as(GasCategory::Sstore, cost)?;
         self.storage.insert(key.to_vec(), value);
         Ok(())
     }
@@ -78,7 +93,7 @@ impl CallContext<'_> {
     ///
     /// Propagates [`ContractError::OutOfGas`].
     pub fn transfer(&mut self, to: Address, amount: u128) -> Result<(), ContractError> {
-        self.meter.charge(self.schedule.call_value_transfer)?;
+        self.charge_as(GasCategory::Transfer, self.schedule.call_value_transfer)?;
         self.payouts.push((to, amount));
         Ok(())
     }
@@ -91,8 +106,10 @@ impl CallContext<'_> {
     /// Propagates [`ContractError::OutOfGas`].
     pub fn emit(&mut self, topic: &str, data: Vec<u8>) -> Result<(), ContractError> {
         // LOG1-flavoured pricing: 375 base + 375 per topic + 8 per byte.
-        self.meter
-            .charge(750 + 8 * (topic.len() + data.len()) as u64)?;
+        self.charge_as(
+            GasCategory::Event,
+            750 + 8 * (topic.len() + data.len()) as u64,
+        )?;
         self.logs.push(crate::tx::LogEvent {
             address: self.this,
             topic: topic.to_string(),

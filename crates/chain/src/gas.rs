@@ -177,6 +177,177 @@ pub fn gas_to_usd(gas: u64, gas_price_gwei: f64, eth_usd: f64) -> f64 {
     gas as f64 * gas_price_gwei * 1e-9 * eth_usd
 }
 
+/// Attribution category for a gas charge — the telemetry-facing view of
+/// [`GasSchedule`]: each variant names the schedule field(s) whose charges
+/// it accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GasCategory {
+    /// Transaction-intrinsic gas (`tx_base` + `tx_create` + calldata +
+    /// `call_base`).
+    Intrinsic,
+    /// Deployment code deposit (`code_deposit` per byte).
+    CodeDeposit,
+    /// Storage reads (`sload`).
+    Sload,
+    /// Storage writes (`sstore_set` / `sstore_reset`).
+    Sstore,
+    /// Hash invocations (`hash_base` + `hash_word`).
+    Hash,
+    /// Wide-field multiplications of the multiset hash (`field_mul`).
+    FieldMul,
+    /// `H_prime` trial-division walk (`hprime_candidate`).
+    HPrime,
+    /// Miller–Rabin rounds (`miller_rabin_round`).
+    MillerRabin,
+    /// The accumulator verification MODEXP (EIP-198 / EIP-2565).
+    Modexp,
+    /// Settlement balance transfers (`call_value_transfer`).
+    Transfer,
+    /// Event emission (LOG-flavoured pricing).
+    Event,
+    /// Charges with no finer attribution.
+    Other,
+}
+
+/// Gas consumed by one transaction, attributed per [`GasCategory`].
+///
+/// Maintained by the chain runtime so that `total()` equals the receipt's
+/// `gas_used` exactly — including out-of-gas aborts, where the failing
+/// charge is recorded at its truncated (meter-saturating) amount.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GasBreakdown {
+    /// Gas attributed to [`GasCategory::Intrinsic`].
+    pub intrinsic: u64,
+    /// Gas attributed to [`GasCategory::CodeDeposit`].
+    pub code_deposit: u64,
+    /// Gas attributed to [`GasCategory::Sload`].
+    pub sload: u64,
+    /// Gas attributed to [`GasCategory::Sstore`].
+    pub sstore: u64,
+    /// Gas attributed to [`GasCategory::Hash`].
+    pub hash: u64,
+    /// Gas attributed to [`GasCategory::FieldMul`].
+    pub field_mul: u64,
+    /// Gas attributed to [`GasCategory::HPrime`].
+    pub hprime: u64,
+    /// Gas attributed to [`GasCategory::MillerRabin`].
+    pub miller_rabin: u64,
+    /// Gas attributed to [`GasCategory::Modexp`].
+    pub modexp: u64,
+    /// Gas attributed to [`GasCategory::Transfer`].
+    pub transfer: u64,
+    /// Gas attributed to [`GasCategory::Event`].
+    pub event: u64,
+    /// Gas attributed to [`GasCategory::Other`].
+    pub other: u64,
+}
+
+slicer_crypto::impl_codec!(GasBreakdown {
+    intrinsic,
+    code_deposit,
+    sload,
+    sstore,
+    hash,
+    field_mul,
+    hprime,
+    miller_rabin,
+    modexp,
+    transfer,
+    event,
+    other,
+});
+
+impl GasBreakdown {
+    /// Adds `gas` to the bucket for `category`.
+    pub fn add(&mut self, category: GasCategory, gas: u64) {
+        *self.slot(category) += gas;
+    }
+
+    /// Gas recorded for `category`.
+    pub fn get(&self, category: GasCategory) -> u64 {
+        match category {
+            GasCategory::Intrinsic => self.intrinsic,
+            GasCategory::CodeDeposit => self.code_deposit,
+            GasCategory::Sload => self.sload,
+            GasCategory::Sstore => self.sstore,
+            GasCategory::Hash => self.hash,
+            GasCategory::FieldMul => self.field_mul,
+            GasCategory::HPrime => self.hprime,
+            GasCategory::MillerRabin => self.miller_rabin,
+            GasCategory::Modexp => self.modexp,
+            GasCategory::Transfer => self.transfer,
+            GasCategory::Event => self.event,
+            GasCategory::Other => self.other,
+        }
+    }
+
+    fn slot(&mut self, category: GasCategory) -> &mut u64 {
+        match category {
+            GasCategory::Intrinsic => &mut self.intrinsic,
+            GasCategory::CodeDeposit => &mut self.code_deposit,
+            GasCategory::Sload => &mut self.sload,
+            GasCategory::Sstore => &mut self.sstore,
+            GasCategory::Hash => &mut self.hash,
+            GasCategory::FieldMul => &mut self.field_mul,
+            GasCategory::HPrime => &mut self.hprime,
+            GasCategory::MillerRabin => &mut self.miller_rabin,
+            GasCategory::Modexp => &mut self.modexp,
+            GasCategory::Transfer => &mut self.transfer,
+            GasCategory::Event => &mut self.event,
+            GasCategory::Other => &mut self.other,
+        }
+    }
+
+    /// Sum over every category; equals the receipt's `gas_used`.
+    pub fn total(&self) -> u64 {
+        self.entries().iter().map(|(_, g)| g).sum()
+    }
+
+    /// Accumulates another breakdown into this one (for aggregating the
+    /// several transactions of one protocol run).
+    pub fn merge(&mut self, other: &GasBreakdown) {
+        for (name, gas) in other.entries() {
+            self.add(Self::category_by_name(name), gas);
+        }
+    }
+
+    /// All `(category_name, gas)` pairs in declaration order, including
+    /// zero entries.
+    pub fn entries(&self) -> [(&'static str, u64); 12] {
+        [
+            ("intrinsic", self.intrinsic),
+            ("code_deposit", self.code_deposit),
+            ("sload", self.sload),
+            ("sstore", self.sstore),
+            ("hash", self.hash),
+            ("field_mul", self.field_mul),
+            ("hprime", self.hprime),
+            ("miller_rabin", self.miller_rabin),
+            ("modexp", self.modexp),
+            ("transfer", self.transfer),
+            ("event", self.event),
+            ("other", self.other),
+        ]
+    }
+
+    fn category_by_name(name: &str) -> GasCategory {
+        match name {
+            "intrinsic" => GasCategory::Intrinsic,
+            "code_deposit" => GasCategory::CodeDeposit,
+            "sload" => GasCategory::Sload,
+            "sstore" => GasCategory::Sstore,
+            "hash" => GasCategory::Hash,
+            "field_mul" => GasCategory::FieldMul,
+            "hprime" => GasCategory::HPrime,
+            "miller_rabin" => GasCategory::MillerRabin,
+            "modexp" => GasCategory::Modexp,
+            "transfer" => GasCategory::Transfer,
+            "event" => GasCategory::Event,
+            _ => GasCategory::Other,
+        }
+    }
+}
+
 /// A per-call gas meter.
 #[derive(Debug, Clone)]
 pub struct GasMeter {
@@ -260,6 +431,26 @@ mod tests {
         assert_eq!(m.remaining(), 40);
         assert!(matches!(m.charge(50), Err(ContractError::OutOfGas)));
         assert_eq!(m.used(), 100);
+    }
+
+    #[test]
+    fn breakdown_totals_and_merges() {
+        let mut a = GasBreakdown::default();
+        a.add(GasCategory::Intrinsic, 21_000);
+        a.add(GasCategory::Sstore, 20_000);
+        a.add(GasCategory::Sstore, 5_000);
+        assert_eq!(a.get(GasCategory::Sstore), 25_000);
+        assert_eq!(a.total(), 46_000);
+
+        let mut b = GasBreakdown::default();
+        b.add(GasCategory::Modexp, 200);
+        b.merge(&a);
+        assert_eq!(b.total(), 46_200);
+        assert_eq!(b.get(GasCategory::Intrinsic), 21_000);
+
+        let names: Vec<&str> = a.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"miller_rabin"));
     }
 
     #[test]

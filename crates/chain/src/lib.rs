@@ -51,7 +51,10 @@ pub use block::Block;
 pub use chain::Blockchain;
 pub use contract::{CallContext, Contract};
 pub use error::{ChainError, ContractError};
-pub use gas::{gas_to_usd, modexp_gas_eip198, modexp_gas_eip2565, GasMeter, GasSchedule};
+pub use gas::{
+    gas_to_usd, modexp_gas_eip198, modexp_gas_eip2565, GasBreakdown, GasCategory, GasMeter,
+    GasSchedule,
+};
 pub use slicer_contract::{
     SlicerCall, SlicerContract, TokenOnChain, VerifyEntry, SELECTOR_REQUEST, SELECTOR_SET_AC,
     SELECTOR_SUBMIT,

@@ -15,6 +15,7 @@
 
 use crate::contract::{CallContext, Contract};
 use crate::error::ContractError;
+use crate::gas::GasCategory;
 use crate::types::Address;
 use slicer_accumulator::{hash_to_prime_counted, RsaParams, DEFAULT_PRIME_BITS};
 use slicer_bignum::BigUint;
@@ -294,27 +295,32 @@ impl SlicerContract {
         // h ← H(er): hash every encrypted result into the multiset hash.
         let mut h = MsetHash::empty();
         for r in &entry.er {
-            let cost = ctx.schedule().hash_cost(r.len()) + ctx.schedule().field_mul;
-            ctx.charge(cost)?;
+            ctx.charge_as(GasCategory::Hash, ctx.schedule().hash_cost(r.len()))?;
+            ctx.charge_as(GasCategory::FieldMul, ctx.schedule().field_mul)?;
             h.insert(r);
         }
         // x ← H_prime(t_j ‖ j ‖ G1 ‖ G2 ‖ h)
         let mut material = token.material();
         material.extend_from_slice(&h.to_bytes());
-        ctx.charge(ctx.schedule().hash_cost(material.len()))?;
+        ctx.charge_as(GasCategory::Hash, ctx.schedule().hash_cost(material.len()))?;
         let (x, candidates) = hash_to_prime_counted(&material, self.prime_bits);
         // Charge the H_prime walk: trial division on every candidate, plus
         // Miller–Rabin only on trial-division survivors (~1 in 5 at 128
         // bits, almost all rejected by their first round) and the full
         // 20-round confirmation of the final prime.
         let mr_rounds = 20 + candidates / 5;
-        ctx.charge(
-            ctx.schedule().hprime_candidate * candidates
-                + ctx.schedule().miller_rabin_round * mr_rounds,
+        ctx.charge_as(
+            GasCategory::HPrime,
+            ctx.schedule().hprime_candidate * candidates,
+        )?;
+        ctx.charge_as(
+            GasCategory::MillerRabin,
+            ctx.schedule().miller_rabin_round * mr_rounds,
         )?;
         // VerifyMem(x, vo): one big modexp against the stored digest.
         let elem = self.params.element_bytes();
-        ctx.charge(
+        ctx.charge_as(
+            GasCategory::Modexp,
             ctx.schedule()
                 .modexp_cost(elem, self.prime_bits as u64, elem),
         )?;

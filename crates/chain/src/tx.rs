@@ -1,5 +1,6 @@
 //! Transactions and receipts.
 
+use crate::gas::GasBreakdown;
 use crate::types::{Address, H256};
 use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 
@@ -120,6 +121,9 @@ pub struct TxReceipt {
     pub output: Vec<u8>,
     /// Events emitted by the call (empty on revert).
     pub logs: Vec<LogEvent>,
+    /// `gas_used` attributed per charge category; always sums to
+    /// `gas_used`.
+    pub gas_breakdown: GasBreakdown,
 }
 
 slicer_crypto::impl_codec!(TxReceipt {
@@ -129,6 +133,7 @@ slicer_crypto::impl_codec!(TxReceipt {
     status,
     output,
     logs,
+    gas_breakdown,
 });
 
 #[cfg(test)]

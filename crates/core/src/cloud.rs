@@ -10,6 +10,7 @@ use slicer_chain::VerifyEntry;
 use slicer_crypto::Prf;
 use slicer_mshash::MsetHash;
 use slicer_store::CloudState;
+use slicer_telemetry::TelemetryHandle;
 use slicer_trapdoor::{Trapdoor, TrapdoorPublic};
 
 /// How the cloud generates membership witnesses.
@@ -42,6 +43,7 @@ pub struct CloudServer {
     trapdoor_pk: TrapdoorPublic,
     strategy: WitnessStrategy,
     witness_cache: slicer_accumulator::WitnessCache,
+    telemetry: TelemetryHandle,
 }
 
 impl CloudServer {
@@ -53,6 +55,7 @@ impl CloudServer {
             trapdoor_pk,
             strategy: WitnessStrategy::default(),
             witness_cache: slicer_accumulator::WitnessCache::default(),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -70,7 +73,14 @@ impl CloudServer {
             trapdoor_pk,
             strategy: WitnessStrategy::default(),
             witness_cache: slicer_accumulator::WitnessCache::default(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry context; search/prove spans and index-lookup
+    /// counters are recorded through it. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Selects the witness-generation strategy.
@@ -127,6 +137,11 @@ impl CloudServer {
                 t = self.trapdoor_pk.forward(&t);
             }
         }
+        // Every matched counter is a hit; every generation's walk ends on
+        // exactly one miss.
+        self.telemetry.count("cloud.index.hits", er.len() as u64);
+        self.telemetry
+            .count("cloud.index.misses", u64::from(token.updates) + 1);
         SliceResult {
             token: token.clone(),
             er,
@@ -135,6 +150,7 @@ impl CloudServer {
 
     /// Searches all tokens of a query.
     pub fn search(&self, tokens: &[SearchToken]) -> Vec<SliceResult> {
+        let _span = self.telemetry.span("cloud.search");
         tokens.iter().map(|t| self.search_one(t)).collect()
     }
 
@@ -165,6 +181,7 @@ impl CloudServer {
     /// means the cloud's own search output is inconsistent with what the
     /// owner accumulated, i.e. local state corruption.
     pub fn prove(&mut self, results: &[SliceResult]) -> Vec<Vec<u8>> {
+        let _span = self.telemetry.span("cloud.prove");
         let xs: Vec<slicer_bignum::BigUint> = results.iter().map(|r| self.prime_for(r)).collect();
         let targets: Vec<usize> = xs
             .iter()
@@ -203,6 +220,8 @@ impl CloudServer {
                     .collect()
             }
         };
+        self.telemetry
+            .count("cloud.witnesses.generated", witnesses.len() as u64);
         witnesses
             .into_iter()
             .map(|w| w.to_bytes_be_padded(elem))
@@ -212,6 +231,7 @@ impl CloudServer {
     /// Full Algorithm 4: search + VO generation, producing the
     /// contract-ready entries.
     pub fn respond(&mut self, tokens: &[SearchToken]) -> CloudResponse {
+        let _span = self.telemetry.span("cloud.respond");
         let results = self.search(tokens);
         let vos = self.prove(&results);
         let entries = results

@@ -133,12 +133,16 @@ impl DualSlicer {
         }
         records.sort_unstable();
 
+        let mut profile = ins.profile.clone();
+        profile.merge(&del.profile);
+
         Ok(SearchOutcome {
             records,
             verified: ins.verified && del.verified,
             request_gas: ins.request_gas + del.request_gas,
             verify_gas: ins.verify_gas + del.verify_gas,
             paid_cloud: ins.paid_cloud || del.paid_cloud,
+            profile,
         })
     }
 

@@ -8,6 +8,33 @@
 
 use crate::messages::{BuildOutput, SearchToken};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A build shipment whose entries or primes do not all share one shape.
+///
+/// The `L^build` leakage claim ("sizes only") is meaningful only when one
+/// `⟨|l|, |d|⟩` pair describes *every* entry; a ragged shipment would leak
+/// per-entry information through its shape, so [`BuildLeakage::of`] refuses
+/// to summarize it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaggedShapeError {
+    /// Index of the first entry or prime deviating from the shape.
+    pub index: usize,
+    /// What deviated, e.g. `"value of 64 bytes, expected 32"`.
+    pub detail: String,
+}
+
+impl fmt::Display for RaggedShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ragged build shipment at position {}: {}",
+            self.index, self.detail
+        )
+    }
+}
+
+impl std::error::Error for RaggedShapeError {}
 
 /// `L^build(DB) = (⟨|l|, |d|⟩_p, |x|_q)`: entry shapes and counts only.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,15 +52,46 @@ pub struct BuildLeakage {
 }
 
 impl BuildLeakage {
-    /// Extracts the build leakage from a shipment.
-    pub fn of(output: &BuildOutput) -> Self {
-        BuildLeakage {
-            label_bits: output.entries.first().map_or(0, |(l, _)| l.len() * 8),
-            value_bits: output.entries.first().map_or(0, |(_, d)| d.len() * 8),
-            entries: output.entries.len(),
-            prime_bits: output.primes.first().map_or(0, |x| x.bit_len() as usize),
-            primes: output.primes.len(),
+    /// Extracts the build leakage from a shipment, verifying that *every*
+    /// entry and prime matches the shape of the first (summarizing a ragged
+    /// shipment by its first element would understate the leakage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaggedShapeError`] naming the first nonconforming element.
+    pub fn of(output: &BuildOutput) -> Result<Self, RaggedShapeError> {
+        let label_len = output.entries.first().map_or(0, |(l, _)| l.len());
+        let value_len = output.entries.first().map_or(0, |(_, d)| d.len());
+        for (i, (l, d)) in output.entries.iter().enumerate() {
+            if l.len() != label_len {
+                return Err(RaggedShapeError {
+                    index: i,
+                    detail: format!("label of {} bytes, expected {label_len}", l.len()),
+                });
+            }
+            if d.len() != value_len {
+                return Err(RaggedShapeError {
+                    index: i,
+                    detail: format!("value of {} bytes, expected {value_len}", d.len()),
+                });
+            }
         }
+        let prime_bits = output.primes.first().map_or(0, |x| x.bit_len() as usize);
+        for (i, x) in output.primes.iter().enumerate() {
+            if x.bit_len() as usize != prime_bits {
+                return Err(RaggedShapeError {
+                    index: i,
+                    detail: format!("prime of {} bits, expected {prime_bits}", x.bit_len()),
+                });
+            }
+        }
+        Ok(BuildLeakage {
+            label_bits: label_len * 8,
+            value_bits: value_len * 8,
+            entries: output.entries.len(),
+            prime_bits,
+            primes: output.primes.len(),
+        })
     }
 }
 
@@ -123,7 +181,7 @@ mod tests {
             .map(|i| (RecordId::from_u64(i), (i * 3) % 256))
             .collect();
         let out = o.build(&db).unwrap();
-        let leak = BuildLeakage::of(&out);
+        let leak = BuildLeakage::of(&out).unwrap();
         assert_eq!(leak.label_bits, 256);
         assert_eq!(leak.value_bits, 256);
         assert_eq!(leak.entries, 20 * 9);
@@ -135,7 +193,7 @@ mod tests {
             .map(|i| (RecordId::from_u64(i + 500), (i * 7 + 1) % 256))
             .collect();
         let out2 = o2.build(&db2).unwrap();
-        let leak2 = BuildLeakage::of(&out2);
+        let leak2 = BuildLeakage::of(&out2).unwrap();
         assert_eq!(leak.label_bits, leak2.label_bits);
         assert_eq!(leak.value_bits, leak2.value_bits);
         assert_eq!(leak.entries, leak2.entries);
@@ -145,10 +203,22 @@ mod tests {
     fn insert_leakage_reveals_only_delta_shape() {
         let mut o = owner_with(10);
         let out = o.insert(&[(RecordId::from_u64(100), 3)]).unwrap();
-        let leak = BuildLeakage::of(&out);
+        let leak = BuildLeakage::of(&out).unwrap();
         // One record touches 1 + b keywords: one entry each.
         assert_eq!(leak.entries, 9);
         assert_eq!(leak.primes, 9);
+    }
+
+    #[test]
+    fn ragged_shipment_is_rejected() {
+        let mut o = owner_with(5);
+        let mut out = o.insert(&[(RecordId::from_u64(50), 7)]).unwrap();
+        // Truncate one encrypted value: the shipment no longer has one
+        // uniform ⟨|l|, |d|⟩ shape.
+        out.entries[1].1.pop();
+        let err = BuildLeakage::of(&out).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.detail.contains("value"), "{err}");
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod keyword;
 pub mod leakage;
 mod messages;
 mod owner;
+mod profile;
 mod record;
 mod state;
 mod system;
@@ -70,6 +71,7 @@ pub use messages::{
     BuildOutput, BuildTiming, CloudResponse, Query, QueryOp, SearchToken, SliceResult,
 };
 pub use owner::DataOwner;
+pub use profile::{PhaseStat, SearchProfile};
 pub use record::{Record, RecordId, RECORD_CIPHERTEXT_LEN};
 pub use state::{KeywordState, OwnerState};
 pub use system::{SearchOutcome, SlicerInstance, SlicerSystem};

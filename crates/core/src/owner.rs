@@ -13,6 +13,7 @@ use slicer_bignum::BigUint;
 use slicer_crypto::Prf;
 use slicer_mshash::MsetHash;
 use slicer_store::IndexLabel;
+use slicer_telemetry::TelemetryHandle;
 use slicer_trapdoor::Trapdoor;
 use std::collections::HashMap;
 
@@ -36,6 +37,7 @@ pub struct DataOwner {
     state: OwnerState,
     accumulator: BigUint,
     built: bool,
+    telemetry: TelemetryHandle,
 }
 
 /// Per-keyword output of the build/insert inner loop.
@@ -59,7 +61,14 @@ impl DataOwner {
             state: OwnerState::new(),
             accumulator,
             built: false,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry context; build/insert spans and counters are
+    /// recorded through it. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// The protocol configuration.
@@ -153,6 +162,10 @@ impl DataOwner {
 
     /// Shared core of Algorithms 1 and 2.
     fn process(&mut self, records: &[Record]) -> Result<BuildOutput, SlicerError> {
+        // Telemetry stays out of process_keyword: the parallel path would
+        // record in nondeterministic order. Spans wrap the two sequential
+        // stages; counters flush once at merge time.
+        let span_index = self.telemetry.span("owner.build.index");
         let index_start = std::time::Instant::now();
         // Group record IDs by keyword encoding (DB(w)).
         let mut groups: HashMap<Vec<u8>, Vec<RecordId>> = HashMap::new();
@@ -183,6 +196,8 @@ impl DataOwner {
         };
 
         let index_time = index_start.elapsed();
+        drop(span_index);
+        let span_ads = self.telemetry.span("owner.build.ads");
         let ads_start = std::time::Instant::now();
 
         // Merge: update T and S, derive primes, fold the accumulator.
@@ -209,6 +224,14 @@ impl DataOwner {
             self.state.trapdoors.insert(out.keyword, out.new_state);
             entries.extend(out.entries);
         }
+
+        drop(span_ads);
+        self.telemetry
+            .count("owner.entries.emitted", entries.len() as u64);
+        self.telemetry
+            .count("owner.primes.accumulated", primes.len() as u64);
+        self.telemetry
+            .count("owner.records.processed", records.len() as u64);
 
         Ok(BuildOutput {
             entries,
@@ -334,11 +357,13 @@ impl DataOwner {
     /// Delegates search capability: builds a [`DataUser`] holding `K`,
     /// `K_R`, the trapdoor public key and the current `T`.
     pub fn delegate(&self) -> DataUser {
-        DataUser::new(
+        let mut user = DataUser::new(
             self.keys.clone(),
             self.config.clone(),
             self.state.user_view(),
-        )
+        );
+        user.set_telemetry(self.telemetry.clone());
+        user
     }
 }
 

@@ -5,10 +5,13 @@ use crate::config::SlicerConfig;
 use crate::error::SlicerError;
 use crate::messages::Query;
 use crate::owner::DataOwner;
+use crate::profile::{PhaseStat, SearchProfile};
 use crate::record::{Record, RecordId};
 use crate::user::DataUser;
 use slicer_chain::{Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt};
 use slicer_crypto::sha256;
+use slicer_telemetry::TelemetryHandle;
+use std::time::Instant;
 
 /// Outcome of a verified search.
 #[derive(Debug, Clone)]
@@ -25,6 +28,8 @@ pub struct SearchOutcome {
     /// Whether the escrowed fee went to the cloud (`true`) or back to the
     /// user (`false`). Trivially-empty searches settle nothing.
     pub paid_cloud: bool,
+    /// Phase-by-phase latency and gas breakdown of this search.
+    pub profile: SearchProfile,
 }
 
 /// One Slicer deployment: owner + cloud + user + verification contract,
@@ -44,12 +49,26 @@ pub struct SlicerInstance {
     cloud_addr: Address,
     contract: Address,
     request_counter: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl SlicerInstance {
     /// Creates the parties, funds their accounts and deploys the
     /// verification contract on `chain`.
     pub fn setup(config: SlicerConfig, seed: u64, chain: &mut Blockchain) -> Self {
+        Self::setup_with(config, seed, chain, TelemetryHandle::disabled())
+    }
+
+    /// [`SlicerInstance::setup`] with a telemetry context that is installed
+    /// into all three parties and used for phase metrics. Pass
+    /// [`TelemetryHandle::disabled`] for the zero-overhead path.
+    pub fn setup_with(
+        config: SlicerConfig,
+        seed: u64,
+        chain: &mut Blockchain,
+        telemetry: TelemetryHandle,
+    ) -> Self {
+        let started = Instant::now();
         let owner = DataOwner::new(config.clone(), seed);
         let cloud = CloudServer::new(config.clone(), owner.keys().trapdoor().public().clone());
         let user = owner.delegate();
@@ -75,7 +94,10 @@ impl SlicerInstance {
             .expect("owner account funded above");
         chain.seal_block();
 
-        SlicerInstance {
+        telemetry.observe_ns("phase.setup.ns", elapsed_ns(started));
+        telemetry.count("phase.setup.gas", deployed.receipt.gas_used);
+
+        let mut instance = SlicerInstance {
             owner,
             cloud,
             user,
@@ -84,7 +106,24 @@ impl SlicerInstance {
             cloud_addr,
             contract: deployed.address,
             request_counter: 0,
-        }
+            telemetry: TelemetryHandle::disabled(),
+        };
+        instance.set_telemetry(telemetry);
+        instance
+    }
+
+    /// The instance's telemetry context.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Installs a telemetry context into the instance and all three
+    /// parties.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.owner.set_telemetry(telemetry.clone());
+        self.cloud.set_telemetry(telemetry.clone());
+        self.user.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The verification contract's address.
@@ -122,10 +161,13 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db: &[(RecordId, u64)],
     ) -> Result<TxReceipt, SlicerError> {
+        let started = Instant::now();
         let out = self.owner.build(db)?;
         self.cloud.ingest(&out)?;
         self.user.sync_state(self.owner.state().user_view());
-        self.publish_accumulator(chain)
+        let receipt = self.publish_accumulator(chain)?;
+        self.record_build_phase(started, &receipt);
+        Ok(receipt)
     }
 
     /// Multi-attribute `Build`.
@@ -138,10 +180,13 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db: &[Record],
     ) -> Result<TxReceipt, SlicerError> {
+        let started = Instant::now();
         let out = self.owner.build_records(db)?;
         self.cloud.ingest(&out)?;
         self.user.sync_state(self.owner.state().user_view());
-        self.publish_accumulator(chain)
+        let receipt = self.publish_accumulator(chain)?;
+        self.record_build_phase(started, &receipt);
+        Ok(receipt)
     }
 
     /// Full forward-secure `Insert` flow. Returns the receipt of the
@@ -155,10 +200,13 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db_plus: &[(RecordId, u64)],
     ) -> Result<TxReceipt, SlicerError> {
+        let started = Instant::now();
         let out = self.owner.insert(db_plus)?;
         self.cloud.ingest(&out)?;
         self.user.sync_state(self.owner.state().user_view());
-        self.publish_accumulator(chain)
+        let receipt = self.publish_accumulator(chain)?;
+        self.record_build_phase(started, &receipt);
+        Ok(receipt)
     }
 
     /// Multi-attribute `Insert`.
@@ -171,10 +219,21 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db_plus: &[Record],
     ) -> Result<TxReceipt, SlicerError> {
+        let started = Instant::now();
         let out = self.owner.insert_records(db_plus)?;
         self.cloud.ingest(&out)?;
         self.user.sync_state(self.owner.state().user_view());
-        self.publish_accumulator(chain)
+        let receipt = self.publish_accumulator(chain)?;
+        self.record_build_phase(started, &receipt);
+        Ok(receipt)
+    }
+
+    /// Records build/insert phase metrics (inserts fold into the Build
+    /// phase: both run Algorithm 1/2 + a digest update).
+    fn record_build_phase(&self, started: Instant, receipt: &TxReceipt) {
+        self.telemetry
+            .observe_ns("phase.build.ns", elapsed_ns(started));
+        self.telemetry.count("phase.build.gas", receipt.gas_used);
     }
 
     /// The full verifiable-search workflow of Fig. 1:
@@ -211,6 +270,7 @@ impl SlicerInstance {
         payment: u128,
         tamper: impl FnOnce(crate::messages::CloudResponse) -> crate::messages::CloudResponse,
     ) -> Result<SearchOutcome, SlicerError> {
+        let token_start = Instant::now();
         let tokens = self.user.tokens_for(query);
         if tokens.is_empty() {
             // Nothing indexed can match: `T` (trusted, owner-signed state)
@@ -221,6 +281,7 @@ impl SlicerInstance {
                 request_gas: 0,
                 verify_gas: 0,
                 paid_cloud: false,
+                profile: SearchProfile::default(),
             });
         }
 
@@ -242,12 +303,16 @@ impl SlicerInstance {
             payment,
             call.encode(),
         ))?;
+        let token_wall = token_start.elapsed();
 
         // 2. Cloud searches and proves (tokens travel via the chain in the
         //    real deployment; the cloud reads the same values here).
+        let search_start = Instant::now();
         let response = tamper(self.cloud.respond(&tokens));
+        let search_wall = search_start.elapsed();
 
         // 3. Submit for verification and settlement.
+        let verify_start = Instant::now();
         let submit = SlicerCall::SubmitResult {
             request_id: rid,
             entries: response.entries.clone(),
@@ -255,11 +320,47 @@ impl SlicerInstance {
         let mut tx = Transaction::call(self.cloud_addr, self.contract, 0, submit.encode());
         tx.gas_limit = 100_000_000; // verification of large result sets
         let sub_receipt = chain.send_transaction(tx)?;
+        let verify_wall = verify_start.elapsed();
+
+        // 4. Settle (seal the block carrying the payment) and decrypt
+        //    whatever the cloud returned (worthless if unverified).
+        let settle_start = Instant::now();
         chain.seal_block();
         let verified = sub_receipt.status.is_success() && sub_receipt.output == [1];
-
-        // 4. Decrypt whatever the cloud returned (worthless if unverified).
         let records = self.user.decrypt(&response.results)?;
+        let settle_wall = settle_start.elapsed();
+
+        // Gas attribution: the request transaction is the Token phase; the
+        // submit transaction splits into Verify (everything but the escrow
+        // transfer) and Settle (the transfer). Search is off-chain. The
+        // phase gas therefore sums exactly to request_gas + verify_gas.
+        let settle_gas = sub_receipt.gas_breakdown.transfer;
+        let mut gas = req_receipt.gas_breakdown.clone();
+        gas.merge(&sub_receipt.gas_breakdown);
+        let profile = SearchProfile {
+            token: PhaseStat {
+                wall: token_wall,
+                gas: req_receipt.gas_used,
+            },
+            search: PhaseStat {
+                wall: search_wall,
+                gas: 0,
+            },
+            verify: PhaseStat {
+                wall: verify_wall,
+                gas: sub_receipt.gas_used - settle_gas,
+            },
+            settle: PhaseStat {
+                wall: settle_wall,
+                gas: settle_gas,
+            },
+            gas,
+        };
+        for (name, stat) in profile.phases() {
+            self.telemetry
+                .observe_ns(&format!("phase.{name}.ns"), stat.wall.as_nanos() as u64);
+            self.telemetry.count(&format!("phase.{name}.gas"), stat.gas);
+        }
 
         Ok(SearchOutcome {
             records,
@@ -267,6 +368,7 @@ impl SlicerInstance {
             request_gas: req_receipt.gas_used,
             verify_gas: sub_receipt.gas_used,
             paid_cloud: verified && payment > 0,
+            profile,
         })
     }
 }
@@ -283,8 +385,14 @@ pub struct SlicerSystem {
 impl SlicerSystem {
     /// Sets up chain, contract and parties.
     pub fn setup(config: SlicerConfig, seed: u64) -> Self {
+        Self::setup_with(config, seed, TelemetryHandle::disabled())
+    }
+
+    /// [`SlicerSystem::setup`] with a telemetry context. See
+    /// [`SlicerInstance::setup_with`].
+    pub fn setup_with(config: SlicerConfig, seed: u64, telemetry: TelemetryHandle) -> Self {
         let mut chain = Blockchain::new();
-        let instance = SlicerInstance::setup(config, seed, &mut chain);
+        let instance = SlicerInstance::setup_with(config, seed, &mut chain, telemetry);
         SlicerSystem { instance, chain }
     }
 
@@ -371,6 +479,11 @@ impl SlicerSystem {
     }
 }
 
+/// Elapsed wall time in nanoseconds, saturating on overflow.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +564,52 @@ mod tests {
         // Escrow refunded: user balance unchanged, cloud not paid.
         assert_eq!(sys.chain().balance(&user_addr), user_before);
         assert_eq!(sys.chain().balance(&cloud_addr), cloud_before);
+    }
+
+    #[test]
+    fn profile_reconciles_with_receipt_gas() {
+        let mut sys = SlicerSystem::setup(SlicerConfig::test_8bit(), 7);
+        sys.build(&db(30)).unwrap();
+        let out = sys.search(&Query::less_than(100), 1_000).unwrap();
+        assert!(out.verified);
+        assert_eq!(out.profile.total_gas(), out.request_gas + out.verify_gas);
+        assert_eq!(out.profile.gas.total(), out.profile.total_gas());
+        assert_eq!(out.profile.token.gas, out.request_gas);
+        assert_eq!(out.profile.search.gas, 0, "the cloud search is off-chain");
+        // One escrow transfer settles the fee.
+        assert_eq!(out.profile.settle.gas, 9_000);
+        assert_eq!(out.profile.gas.transfer, 9_000);
+    }
+
+    #[test]
+    fn telemetry_covers_all_six_phases() {
+        use slicer_telemetry::{LogicalClock, MemorySink};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let handle = TelemetryHandle::with(Arc::new(LogicalClock::default()), sink.clone() as _);
+        let mut sys = SlicerSystem::setup_with(SlicerConfig::test_8bit(), 8, handle.clone());
+        sys.build(&db(20)).unwrap();
+        sys.insert(&[(RecordId::from_u64(100), 13)]).unwrap();
+        let out = sys.search(&Query::equal(13), 10).unwrap();
+        assert!(out.verified);
+        let snap = handle.snapshot();
+        for phase in ["setup", "build", "token", "search", "verify", "settle"] {
+            let hist = format!("phase.{phase}.ns");
+            let gas = format!("phase.{phase}.gas");
+            assert!(
+                snap.histograms().iter().any(|(n, _)| *n == hist),
+                "missing {hist}"
+            );
+            assert!(
+                snap.counters().iter().any(|(n, _)| *n == gas),
+                "missing {gas}"
+            );
+        }
+        // Party-level instrumentation reported through the same registry.
+        assert!(snap.counter("owner.entries.emitted").unwrap() > 0);
+        assert!(snap.counter("cloud.index.hits").unwrap() > 0);
+        assert!(snap.counter("user.tokens.generated").unwrap() > 0);
+        assert!(!sink.is_empty(), "spans and counters emit sink events");
     }
 
     #[test]

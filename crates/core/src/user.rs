@@ -9,6 +9,7 @@ use crate::record::RecordId;
 use crate::state::KeywordState;
 use slicer_crypto::Prf;
 use slicer_sore::Order;
+use slicer_telemetry::TelemetryHandle;
 use std::collections::HashMap;
 
 /// An authorized data user.
@@ -23,6 +24,7 @@ pub struct DataUser {
     keys: KeySet,
     config: SlicerConfig,
     states: HashMap<Vec<u8>, KeywordState>,
+    telemetry: TelemetryHandle,
 }
 
 impl DataUser {
@@ -33,7 +35,14 @@ impl DataUser {
             keys,
             config,
             states,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry context; token-generation spans and counters
+    /// are recorded through it. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Replaces the local trapdoor state with the owner's newest `T`.
@@ -45,12 +54,16 @@ impl DataUser {
     /// equality values) with no indexed records produce no token — their
     /// absence from `T` already proves an empty result to the user.
     pub fn tokens_for(&self, query: &Query) -> Vec<SearchToken> {
-        make_tokens(
+        let _span = self.telemetry.span("user.tokens");
+        let tokens = make_tokens(
             self.keys.prf_g(),
             &self.states,
             self.config.value_bits,
             query,
-        )
+        );
+        self.telemetry
+            .count("user.tokens.generated", tokens.len() as u64);
+        tokens
     }
 
     /// Decrypts the cloud's per-slice results into record IDs. Order

@@ -13,7 +13,7 @@ fn build(values: &[u64], seed: u64) -> (DataOwner, CloudServer, BuildLeakage) {
         .collect();
     let mut owner = DataOwner::new(SlicerConfig::test_8bit(), seed);
     let out = owner.build(&db).unwrap();
-    let leak = BuildLeakage::of(&out);
+    let leak = BuildLeakage::of(&out).expect("build shipments are uniform");
     let mut cloud = CloudServer::new(
         owner.config().clone(),
         owner.keys().trapdoor().public().clone(),

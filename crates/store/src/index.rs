@@ -70,7 +70,13 @@ impl EncryptedIndex {
 
     /// Looks up a label (`I.find(l)` / `I.get(l)` in Algorithm 4).
     pub fn get(&self, label: &IndexLabel) -> Option<&[u8]> {
-        self.entries.get(label).map(Vec::as_slice)
+        let hit = self.entries.get(label).map(Vec::as_slice);
+        if hit.is_some() {
+            slicer_telemetry::global::count("store.index.lookup.hit", 1);
+        } else {
+            slicer_telemetry::global::count("store.index.lookup.miss", 1);
+        }
+        hit
     }
 
     /// Whether a label exists.

@@ -1,0 +1,238 @@
+//! The telemetry handle threaded through the protocol actors, and the
+//! span guard it hands out.
+
+use std::sync::Arc;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::export::Snapshot;
+use crate::metrics::Metrics;
+use crate::sink::{Event, NullSink, Sink};
+
+#[derive(Debug)]
+struct Inner {
+    metrics: Metrics,
+    clock: Arc<dyn Clock>,
+    sink: Arc<dyn Sink>,
+}
+
+/// A cheaply clonable telemetry context: a [`Metrics`] registry plus the
+/// [`Clock`] and [`Sink`] every recording goes through.
+///
+/// The disabled handle is `None` behind the scenes, so a disabled
+/// recording is a single branch on a niche-optimized pointer — cheap
+/// enough to leave instrumentation unconditionally in protocol code.
+/// Clones share the same registry, clock and sink.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHandle {
+    inner: Option<Arc<Inner>>,
+}
+
+impl TelemetryHandle {
+    /// A no-op handle: every operation returns immediately, spans are
+    /// inert, snapshots are empty. This is the default everywhere.
+    pub fn disabled() -> Self {
+        Self::const_disabled()
+    }
+
+    /// `disabled()` as a `const fn`, so the [`global`](crate::global)
+    /// facade can live in a `static` initializer.
+    pub(crate) const fn const_disabled() -> Self {
+        TelemetryHandle { inner: None }
+    }
+
+    /// A live handle with real wall-clock timing and no event stream —
+    /// the usual choice for profiling runs.
+    pub fn enabled() -> Self {
+        Self::with(Arc::new(MonotonicClock::new()), Arc::new(NullSink))
+    }
+
+    /// A live handle with an explicit clock and sink — determinism tests
+    /// pass a [`LogicalClock`](crate::LogicalClock) and a
+    /// [`MemorySink`](crate::MemorySink) here.
+    pub fn with(clock: Arc<dyn Clock>, sink: Arc<dyn Sink>) -> Self {
+        TelemetryHandle {
+            inner: Some(Arc::new(Inner {
+                metrics: Metrics::new(),
+                clock,
+                sink,
+            })),
+        }
+    }
+
+    /// Whether recordings reach a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to counter `name` and emits a
+    /// [`Event::Counter`] to the sink.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.count(name, delta);
+            inner.sink.record(Event::Counter {
+                name: name.to_string(),
+                delta,
+            });
+        }
+    }
+
+    /// Sets gauge `name` to `value` and emits a [`Event::Gauge`] to the
+    /// sink.
+    pub fn gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.gauge(name, value);
+            inner.sink.record(Event::Gauge {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Records `nanos` into histogram `name`. No sink event: callers of
+    /// this method time with externally measured (wall-clock) durations,
+    /// which must not leak into deterministic sink transcripts — spans
+    /// are the event-producing timing path.
+    pub fn observe_ns(&self, name: &str, nanos: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.observe(name, nanos);
+        }
+    }
+
+    /// Opens a span named `name`. When the returned guard drops, the
+    /// clock delta lands in histogram `name` and a [`Event::SpanEnd`]
+    /// goes to the sink. On a disabled handle the guard is inert.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            inner: self.inner.as_ref().map(|inner| SpanInner {
+                handle: Arc::clone(inner),
+                name: name.to_string(),
+                start_ns: inner.clock.now_nanos(),
+            }),
+        }
+    }
+
+    /// The current clock reading, or 0 on a disabled handle.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_nanos())
+    }
+
+    /// A point-in-time copy of the registry (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(Snapshot::default, |i| Snapshot::of(&i.metrics))
+    }
+
+    /// Current value of counter `name`, if recorded.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner.as_ref()?.metrics.counter_value(name)
+    }
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    handle: Arc<Inner>,
+    name: String,
+    start_ns: u64,
+}
+
+/// Drop guard returned by [`TelemetryHandle::span`]. Records the elapsed
+/// clock delta when dropped.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped; binding it to _ drops it immediately"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(span) = self.inner.take() {
+            let end = span.handle.clock.now_nanos();
+            let duration_ns = end.saturating_sub(span.start_ns);
+            span.handle.metrics.observe(&span.name, duration_ns);
+            span.handle.sink.record(Event::SpanEnd {
+                name: span.name,
+                start_ns: span.start_ns,
+                duration_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = TelemetryHandle::disabled();
+        assert!(!t.is_enabled());
+        t.count("a", 1);
+        t.gauge("b", 2);
+        t.observe_ns("c", 3);
+        drop(t.span("d"));
+        assert_eq!(t.snapshot(), Snapshot::default());
+        assert_eq!(t.counter_value("a"), None);
+    }
+
+    #[test]
+    fn span_records_clock_delta() {
+        let sink = Arc::new(MemorySink::new());
+        let t = TelemetryHandle::with(Arc::new(LogicalClock::with_step(10)), sink.clone() as _);
+        drop(t.span("work"));
+        let snap = t.snapshot();
+        let h = snap.histogram("work").unwrap();
+        assert_eq!(h.count, 1);
+        // LogicalClock: open reads 0, close reads 10 → duration 10.
+        assert_eq!(h.sum, 10);
+        let events = sink.events();
+        assert_eq!(
+            events,
+            vec![Event::SpanEnd {
+                name: "work".into(),
+                start_ns: 0,
+                duration_ns: 10,
+            }]
+        );
+    }
+
+    #[test]
+    fn counters_reach_registry_and_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let t = TelemetryHandle::with(Arc::new(LogicalClock::new()), sink.clone() as _);
+        t.count("hits", 2);
+        t.count("hits", 3);
+        t.gauge("size", 7);
+        assert_eq!(t.counter_value("hits"), Some(5));
+        assert_eq!(t.snapshot().gauge("size"), Some(7));
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = TelemetryHandle::enabled();
+        let u = t.clone();
+        t.count("shared", 1);
+        u.count("shared", 1);
+        assert_eq!(t.counter_value("shared"), Some(2));
+    }
+
+    #[test]
+    fn logical_clock_transcripts_are_byte_identical() {
+        let run = || {
+            let sink = Arc::new(MemorySink::new());
+            let t = TelemetryHandle::with(Arc::new(LogicalClock::new()), sink.clone() as _);
+            {
+                let _outer = t.span("outer");
+                drop(t.span("inner"));
+                t.count("steps", 1);
+            }
+            sink.transcript()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! # slicer-telemetry
+//!
+//! Zero-dependency tracing, metrics and protocol-phase profiling for the
+//! Slicer pipeline. The paper's evaluation is entirely quantitative (SORE
+//! token cost, search latency vs. record count, per-operation gas), so the
+//! reproduction needs a way to observe where time and gas go inside a
+//! live run — this crate is that observability layer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hermetic** — std only, matching the workspace's zero-registry
+//!    dependency policy.
+//! 2. **Deterministic when asked** — the [`Clock`] behind span timing is
+//!    injectable, so determinism tests drive a [`LogicalClock`] and
+//!    same-seed telemetry transcripts are byte-identical. Telemetry never
+//!    feeds back into protocol state, so enabling it cannot perturb
+//!    protocol transcripts either.
+//! 3. **Free when disabled** — [`TelemetryHandle::disabled`] is an
+//!    `Option::None` behind the scenes: every operation is a branch on a
+//!    niche-optimized pointer. The process-global facade ([`global`]) used
+//!    by leaf crates guards with one relaxed atomic load.
+//!
+//! # Architecture
+//!
+//! * [`Metrics`] — a registry of named counters, gauges and fixed-bucket
+//!   latency histograms (power-of-two buckets, p50/p90/p99 summaries).
+//! * [`TelemetryHandle`] — a cheaply clonable handle bundling a registry,
+//!   a [`Clock`] and a [`Sink`]; [`TelemetryHandle::span`] returns a guard
+//!   that records a latency observation when dropped.
+//! * [`Sink`] — a pluggable event stream: [`MemorySink`] for tests,
+//!   [`JsonLinesSink`] for stderr tracing, [`NullSink`] when only the
+//!   aggregated registry matters.
+//! * [`Snapshot`] — a point-in-time copy of the registry, exportable as
+//!   Prometheus text ([`Snapshot::to_prometheus_text`]) or JSON
+//!   ([`Snapshot::to_json`]).
+//! * [`global`] — a process-wide default handle for leaf crates (SORE
+//!   tuple counts, index lookup hit rates, witness-cache hit rates) that
+//!   cannot reasonably thread a handle through their APIs.
+//!
+//! # Examples
+//!
+//! ```
+//! use slicer_telemetry::TelemetryHandle;
+//!
+//! let telemetry = TelemetryHandle::enabled();
+//! {
+//!     let _span = telemetry.span("sore.encrypt");
+//!     // ... work ...
+//! }
+//! telemetry.count("sore.ciphertexts", 1);
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.counter("sore.ciphertexts"), Some(1));
+//! assert!(snap.to_json().contains("sore.encrypt"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod export;
+pub mod global;
+mod handle;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use export::{HistogramSummary, Snapshot};
+pub use handle::{Span, TelemetryHandle};
+pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
+pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};

@@ -1,0 +1,340 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Everything is lock-free on the hot path: registration takes a write
+//! lock once per name, after which recording is a handful of relaxed
+//! atomic operations. Names are dot-separated paths
+//! (`"phase.search.ns"`, `"cloud.index.hits"`); the exporters map them to
+//! output-format-legal identifiers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of histogram buckets: one per possible bit length of a `u64`
+/// observation, plus a dedicated zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram over `u64` observations (typically
+/// nanoseconds). Bucket `0` holds zeros; bucket `i ≥ 1` holds values with
+/// bit length `i`, i.e. the range `[2^(i-1), 2^i - 1]`. Power-of-two
+/// buckets keep recording branch-free and still resolve latency
+/// distributions to within 2×, which is what phase profiling needs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length (0 for 0).
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (`None` before the first observation).
+    pub fn min(&self) -> Option<u64> {
+        let m = self.min.load(Ordering::Relaxed);
+        (self.count() > 0).then_some(m)
+    }
+
+    /// Largest observation (`None` before the first observation).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then_some(self.max.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), estimated as the upper bound of
+    /// the bucket containing the target rank and clamped to the observed
+    /// `[min, max]` range. Returns `None` before the first observation.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= target {
+                let bound = bucket_upper_bound(i);
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return Some(bound.clamp(min, max));
+            }
+        }
+        self.max()
+    }
+
+    /// Raw bucket counts (for exporters).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Counters only go up; gauges are set to the latest value; histograms
+/// accumulate latency-style observations. Lookup order is a `BTreeMap`
+/// so exports are deterministically sorted by name.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("metrics lock poisoned").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("metrics lock poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (registering it if new).
+    pub fn count(&self, name: &str, delta: u64) {
+        intern(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge `name` to `value` (registering it if new).
+    pub fn gauge(&self, name: &str, value: u64) {
+        intern(&self.gauges, name).store(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` into the histogram `name` (registering it if new).
+    pub fn observe(&self, name: &str, value: u64) {
+        intern(&self.histograms, name).observe(value);
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
+    }
+
+    /// A handle to the histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.histograms
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Sorted `(name, value)` pairs of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sorted `(name, value)` pairs of every gauge.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sorted `(name, histogram)` pairs of every histogram.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_index() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 65_535, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "value {v} above bound");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "value {v} below bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn quantiles_land_in_correct_buckets() {
+        let h = Histogram::default();
+        // 100 observations, values 1..=100: p50 rank is 50 (bucket of
+        // bit length 6, bound 63); p99 rank is 99 (bucket bound 127,
+        // clamped to observed max 100).
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((32..=63).contains(&p50), "p50 {p50}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((64..=100).contains(&p90), "p90 {p90}");
+        assert_eq!(h.quantile(0.99), Some(100), "p99 clamps to max");
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1), "q=0 clamps to min");
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let h = Histogram::default();
+        h.observe(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(42));
+        }
+    }
+
+    #[test]
+    fn zero_observations_use_the_zero_bucket() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(0);
+        h.observe(8);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn registry_registers_and_accumulates() {
+        let m = Metrics::new();
+        m.count("a.b", 2);
+        m.count("a.b", 3);
+        m.gauge("g", 7);
+        m.gauge("g", 9);
+        m.observe("h", 100);
+        assert_eq!(m.counter_value("a.b"), Some(5));
+        assert_eq!(m.counter_value("missing"), None);
+        assert_eq!(m.gauge_value("g"), Some(9));
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn listings_are_sorted_by_name() {
+        let m = Metrics::new();
+        m.count("z", 1);
+        m.count("a", 1);
+        m.count("m", 1);
+        let names: Vec<String> = m.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let m = Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.count("thread.hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter_value("thread.hits"), Some(4000));
+    }
+}

@@ -1,0 +1,238 @@
+//! Pluggable event sinks.
+//!
+//! Aggregated metrics answer "how much / how fast overall"; the event
+//! stream answers "what happened, in order". A [`Sink`] receives one
+//! [`Event`] per span end, counter bump and gauge set. The default
+//! [`NullSink`] drops everything (aggregation still happens in the
+//! registry); [`MemorySink`] records for tests; [`JsonLinesSink`] writes
+//! one JSON object per line for offline analysis.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json;
+
+/// One telemetry occurrence, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span closed: `name` ran from `start_ns` for `duration_ns`
+    /// (both in the active [`Clock`](crate::Clock)'s timeline).
+    SpanEnd {
+        /// Span name, e.g. `"owner.build"`.
+        name: String,
+        /// Clock reading when the span opened.
+        start_ns: u64,
+        /// Clock delta between open and close.
+        duration_ns: u64,
+    },
+    /// A counter was incremented by `delta`.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment applied.
+        delta: u64,
+    },
+    /// A gauge was set to `value`.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// New value.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// The event as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Event::SpanEnd {
+                name,
+                start_ns,
+                duration_ns,
+            } => {
+                s.push_str("{\"type\":\"span\",\"name\":");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(
+                    ",\"start_ns\":{start_ns},\"duration_ns\":{duration_ns}}}"
+                ));
+            }
+            Event::Counter { name, delta } => {
+                s.push_str("{\"type\":\"counter\",\"name\":");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(",\"delta\":{delta}}}"));
+            }
+            Event::Gauge { name, value } => {
+                s.push_str("{\"type\":\"gauge\",\"name\":");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(",\"value\":{value}}}"));
+            }
+        }
+        s
+    }
+}
+
+/// Receives the ordered event stream from a
+/// [`TelemetryHandle`](crate::TelemetryHandle).
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Called once per event, in program order.
+    fn record(&self, event: Event);
+}
+
+/// Discards every event. Aggregated metrics are unaffected.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers events in memory, for tests and determinism comparisons.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink lock poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole transcript as JSON lines — a canonical byte string for
+    /// byte-identical determinism assertions.
+    pub fn transcript(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().expect("sink lock poisoned").iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("sink lock poisoned").push(event);
+    }
+}
+
+/// Writes one JSON object per event to a writer (typically stderr).
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `writer`; each event becomes one line.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl JsonLinesSink<std::io::Stderr> {
+    /// A sink writing JSON lines to stderr.
+    pub fn stderr() -> Self {
+        Self::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> fmt::Debug for JsonLinesSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.lock().expect("sink lock poisoned");
+        // Telemetry must never take the process down: ignore I/O errors.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        sink.record(Event::Counter {
+            name: "a".into(),
+            delta: 1,
+        });
+        sink.record(Event::Gauge {
+            name: "b".into(),
+            value: 2,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Counter { .. }));
+        assert!(matches!(events[1], Event::Gauge { .. }));
+    }
+
+    #[test]
+    fn event_json_is_valid_and_escaped() {
+        let e = Event::SpanEnd {
+            name: "owner.\"build\"".into(),
+            start_ns: 5,
+            duration_ns: 10,
+        };
+        let j = e.to_json();
+        assert!(json::parse(&j).is_ok(), "invalid JSON: {j}");
+        assert!(j.contains("\\\"build\\\""));
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(Event::Counter {
+            name: "x".into(),
+            delta: 3,
+        });
+        sink.record(Event::Counter {
+            name: "y".into(),
+            delta: 4,
+        });
+        let buf = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(json::parse(line).is_ok(), "invalid JSON line: {line}");
+        }
+    }
+
+    #[test]
+    fn transcript_is_canonical() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        for s in [&a, &b] {
+            s.record(Event::SpanEnd {
+                name: "p".into(),
+                start_ns: 0,
+                duration_ns: 1,
+            });
+        }
+        assert_eq!(a.transcript(), b.transcript());
+        assert!(!a.transcript().is_empty());
+    }
+}

@@ -10,16 +10,23 @@
 //! });
 //! ```
 
+use slicer_telemetry::{Metrics, Snapshot};
 use std::time::{Duration, Instant};
 
 /// Re-export: keep benched expressions out of the optimizer's reach.
 pub use std::hint::black_box;
+
+/// Environment variable naming a directory; when set, every [`Bench`]
+/// group writes `BENCH_<group>.json` there on drop (the same JSON schema
+/// as [`Snapshot::to_json`]).
+pub const BENCH_JSON_ENV: &str = "SLICER_BENCH_JSON";
 
 /// A named group of micro-benchmarks sharing one timing configuration.
 pub struct Bench {
     group: String,
     warmup: Duration,
     measure: Duration,
+    metrics: Metrics,
 }
 
 /// Timing summary of one benchmark id.
@@ -41,7 +48,24 @@ impl Bench {
             group: group.to_string(),
             warmup: Duration::from_millis(500),
             measure: Duration::from_millis(1500),
+            metrics: Metrics::new(),
         }
+    }
+
+    /// Snapshot of everything recorded so far, in the telemetry exporter's
+    /// JSON schema (gauges `bench.<group>.<id>.{mean_ns,min_ns}` plus an
+    /// iteration counter per id).
+    pub fn to_json(&self) -> String {
+        Snapshot::of(&self.metrics).to_json()
+    }
+
+    /// Writes [`Bench::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
     }
 
     /// Overrides the warmup duration.
@@ -149,6 +173,12 @@ impl Bench {
     }
 
     fn report(&self, id: &str, stats: Stats, bytes: Option<u64>) {
+        let key = format!("bench.{}.{}", self.group, id);
+        let mean_ns = u64::try_from(stats.mean.as_nanos()).unwrap_or(u64::MAX);
+        let min_ns = u64::try_from(stats.min.as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.gauge(&format!("{key}.mean_ns"), mean_ns);
+        self.metrics.gauge(&format!("{key}.min_ns"), min_ns);
+        self.metrics.count(&format!("{key}.iters"), stats.iters);
         let mut line = format!(
             "{:<40} time: [mean {:>10}  min {:>10}]  ({} iters)",
             format!("{}/{}", self.group, id),
@@ -164,6 +194,21 @@ impl Bench {
             }
         }
         println!("{line}");
+    }
+}
+
+impl Drop for Bench {
+    fn drop(&mut self) {
+        let Ok(dir) = std::env::var(BENCH_JSON_ENV) else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.group));
+        if let Err(e) = self.write_json(&path) {
+            eprintln!("bench: failed to write {}: {e}", path.display());
+        }
     }
 }
 
@@ -215,6 +260,18 @@ mod tests {
             },
         );
         assert!(stats.iters > 0);
+    }
+
+    #[test]
+    fn json_snapshot_carries_stats() {
+        let mut b = Bench::new("jsontest").warmup_ms(5).measure_ms(20);
+        b.run("noop", || {
+            black_box(1u8);
+        });
+        let json = b.to_json();
+        assert!(json.contains("bench.jsontest.noop.mean_ns"));
+        assert!(json.contains("bench.jsontest.noop.iters"));
+        slicer_telemetry::json::parse(&json).expect("exporter output is valid JSON");
     }
 
     #[test]

@@ -1,125 +1,114 @@
-//! A guided walkthrough of the whole protocol on a 4-bit toy database —
-//! prints every artifact the paper's Algorithms 1–5 produce, mirroring the
-//! worked example of Fig. 2.
+//! A guided walkthrough of the whole protocol on a toy database, run under
+//! a live telemetry context: every phase of Fig. 1 (Setup, Build, Token,
+//! Search, Verify, Settle) is profiled for wall time and gas, the gas is
+//! attributed per [`slicer_chain::GasCategory`], and the whole registry is
+//! exported as Prometheus text and JSON (self-validated before printing).
 //!
 //! ```text
 //! cargo run --release --example protocol_trace
 //! ```
 
-use slicer_core::{CloudServer, DataOwner, Query, RecordId, SlicerConfig};
-use slicer_crypto::HmacDrbg;
-use slicer_sore::{Order, SoreScheme};
+use slicer_core::{Query, RecordId, SearchOutcome, SlicerConfig, SlicerSystem};
+use slicer_telemetry::{global, TelemetryHandle};
 
-fn hex(bytes: &[u8]) -> String {
-    bytes
-        .iter()
-        .take(8)
-        .map(|b| format!("{b:02x}"))
-        .collect::<String>()
-        + "…"
+fn ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
 }
 
 fn main() {
-    println!("── SORE on Fig. 2's example ──────────────────────────────");
-    // Fig. 2: plaintexts 5 = 0101 and 8 = 1000; queries 6 = 0110, 4 = 0100.
-    let sore = SoreScheme::new(b"demo key", 4);
-    let mut rng = HmacDrbg::from_u64(1);
+    // One enabled handle serves the whole run: the system's parties get it
+    // injected, and the global facade routes the leaf-crate counters (SORE
+    // tuples, index lookups, accumulator witnesses) into the same registry.
+    let telemetry = TelemetryHandle::enabled();
+    global::set(telemetry.clone());
 
-    for (x, oc) in [(6u64, Order::Greater), (4u64, Order::Greater)] {
-        for y in [5u64, 8] {
-            let tuples = sore.token_slice_tuples(b"", x, oc);
-            let tk = sore.token(x, oc, &mut rng);
-            let ct = sore.encrypt(y, &mut rng);
-            println!(
-                "token({x} {oc}) vs ct({y}): {} common tuple(s) → {x} {oc} {y} is {}",
-                SoreScheme::common_count(&ct, &tk),
-                SoreScheme::compare(&ct, &tk),
-            );
-            if y == 5 && x == 6 {
-                println!("  token tuples for x=6 (prefix‖bit‖oc), pre-PRF:");
-                for t in &tuples {
-                    println!(
-                        "    i={} prefix={:0w$b} bit={} op={}",
-                        t.index,
-                        t.prefix,
-                        u8::from(t.bit),
-                        t.op,
-                        w = (t.index as usize).saturating_sub(1),
-                    );
-                }
-            }
+    println!("── Setup + Build (Algorithms 1–2) ────────────────────────");
+    let mut sys = SlicerSystem::setup_with(SlicerConfig::test_8bit(), 7, telemetry.clone());
+    let db: Vec<(RecordId, u64)> = (0u64..40)
+        .map(|i| (RecordId::from_u64(i), (i * 13) % 256))
+        .collect();
+    sys.build(&db).expect("8-bit domain");
+    sys.insert(&[(RecordId::from_u64(1_000), 5)])
+        .expect("8-bit domain");
+    println!(
+        "built {} records (+1 insert); {} index entries on the cloud",
+        db.len(),
+        sys.instance().cloud.storage().index.len()
+    );
+
+    println!("\n── Search / Verify / Settle (Algorithms 3–5) ─────────────");
+    let query = Query::less_than(60);
+    let outcome: SearchOutcome = sys.search(&query, 1_000).expect("honest run");
+    assert!(outcome.verified, "honest searches verify on chain");
+    let mut got: Vec<u64> = outcome
+        .records
+        .iter()
+        .map(|r| r.as_u64().unwrap())
+        .collect();
+    got.sort_unstable();
+    println!(
+        "query `value < 60` → {} verified record(s), cloud paid: {}",
+        got.len(),
+        outcome.paid_cloud
+    );
+
+    // ── Per-phase profile ──────────────────────────────────────────────
+    // Setup and Build are per-deployment phases living in the registry;
+    // the four per-search phases also ride on the outcome itself.
+    println!("\n── Phase profile ─────────────────────────────────────────");
+    let snapshot = telemetry.snapshot();
+    println!("{:<10} {:>14} {:>14}", "phase", "wall (mean)", "gas");
+    for phase in ["setup", "build", "token", "search", "verify", "settle"] {
+        let hist = snapshot
+            .histogram(&format!("phase.{phase}.ns"))
+            .expect("every phase ran");
+        let gas = snapshot
+            .counter(&format!("phase.{phase}.gas"))
+            .expect("every phase metered");
+        println!("{phase:<10} {:>14} {gas:>14}", ms(hist.mean()));
+    }
+    println!(
+        "search outcome totals: wall {} | gas {}",
+        ms(outcome.profile.total_wall().as_nanos() as u64),
+        outcome.profile.total_gas()
+    );
+    assert_eq!(
+        outcome.profile.total_gas(),
+        outcome.request_gas + outcome.verify_gas,
+        "phase gas reconciles with the tx receipts"
+    );
+
+    println!("\n── Gas by category (request + submit txs) ────────────────");
+    for (name, gas) in outcome.profile.gas.entries() {
+        if gas > 0 {
+            println!("{name:<14} {gas:>12}");
         }
     }
+    assert_eq!(outcome.profile.gas.total(), outcome.profile.total_gas());
 
-    println!("\n── Build (Algorithm 1) ───────────────────────────────────");
-    let config = SlicerConfig::with_bits(4);
-    let mut owner = DataOwner::new(config.clone(), 7);
-    let db = vec![
-        (RecordId::from_u64(1), 5u64),
-        (RecordId::from_u64(2), 8),
-        (RecordId::from_u64(3), 5),
-    ];
-    let out = owner.build(&db).expect("4-bit domain");
+    println!("\n── Prometheus export (phase series) ──────────────────────");
+    for line in snapshot
+        .to_prometheus_text()
+        .lines()
+        .filter(|l| l.contains("phase_"))
+        .take(12)
+    {
+        println!("{line}");
+    }
+
+    // ── JSON export, self-validated ────────────────────────────────────
+    let json = snapshot.to_json();
+    slicer_telemetry::json::parse(&json).expect("exporter output is valid JSON");
+    for phase in ["setup", "build", "token", "search", "verify", "settle"] {
+        assert!(
+            json.contains(&format!("phase.{phase}.ns")),
+            "JSON export covers phase {phase}"
+        );
+    }
     println!(
-        "records: {:?}",
-        db.iter().map(|(_, v)| *v).collect::<Vec<_>>()
+        "\nJSON export: {} bytes, all six phases present",
+        json.len()
     );
-    println!(
-        "keywords (equality + slices): {}",
-        owner.state().trapdoors.len()
-    );
-    println!("index entries (l → d):");
-    for (l, d) in out.entries.iter().take(4) {
-        println!("  {} → {}", hex(l), hex(d));
-    }
-    println!("  … {} total", out.entries.len());
-    println!("prime representatives x = H_prime(t‖j‖G1‖G2‖h):");
-    for x in out.primes.iter().take(3) {
-        println!("  {x:#x}");
-    }
-    println!("accumulator Ac = g^Πx mod n: {:#x}", out.accumulator);
-
-    println!("\n── Search (Algorithms 3–4) ───────────────────────────────");
-    let mut cloud = CloudServer::new(config, owner.keys().trapdoor().public().clone());
-    cloud.ingest(&out).expect("fresh cloud");
-    let user = owner.delegate();
-    let q = Query::less_than(6);
-    let tokens = user.tokens_for(&q);
-    println!("query `value < 6` → {} token(s):", tokens.len());
-    for t in &tokens {
-        println!(
-            "  (t_j={}, j={}, G1={}, G2={})",
-            hex(&t.trapdoor.to_bytes(64)),
-            t.updates,
-            hex(&t.g1),
-            hex(&t.g2)
-        );
-    }
-    let resp = cloud.respond(&tokens);
-    for (i, r) in resp.results.iter().enumerate() {
-        println!(
-            "  slice {i}: {} encrypted result(s), vo = {}",
-            r.er.len(),
-            hex(&resp.entries[i].vo)
-        );
-    }
-
-    println!("\n── Verify (Algorithm 5, off-chain replay) ────────────────");
-    let params = &owner.config().accumulator;
-    let acc = slicer_accumulator::Accumulator::from_value(params, owner.accumulator().clone());
-    for (i, (entry, result)) in resp.entries.iter().zip(&resp.results).enumerate() {
-        let x = cloud.prime_for(result);
-        let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
-        println!(
-            "  slice {i}: recompute x = {x:#x}; VerifyMem(x, vo) = {}",
-            acc.verify(&x, &w)
-        );
-        assert!(acc.verify(&x, &w));
-    }
-
-    let ids = user.decrypt(&resp.results).expect("honest results");
-    let mut got: Vec<u64> = ids.iter().map(|r| r.as_u64().unwrap()).collect();
-    got.sort_unstable();
-    println!("\ndecrypted matches for `value < 6`: records {got:?} (values 5, 5) ✓");
-    assert_eq!(got, vec![1, 3]);
+    println!("TELEMETRY JSON OK");
+    global::reset();
 }

@@ -16,4 +16,20 @@ cargo test -q --offline --workspace --release
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> telemetry smoke (protocol_trace phase profile + JSON export)"
+trace_out="$(cargo run -q --release --offline --example protocol_trace)"
+for phase in setup build token search verify settle; do
+  if ! grep -q "slicer_phase_${phase}_gas" <<<"$trace_out"; then
+    echo "telemetry smoke FAILED: phase '${phase}' missing from the export" >&2
+    exit 1
+  fi
+done
+# The example validates its own JSON export (slicer_telemetry::json::parse)
+# and prints this marker only if parsing succeeded with all six phases.
+grep -q "TELEMETRY JSON OK" <<<"$trace_out" || {
+  echo "telemetry smoke FAILED: JSON export did not validate" >&2
+  exit 1
+}
+echo "telemetry smoke OK"
+
 echo "CI OK"

@@ -98,3 +98,56 @@ fn different_seeds_diverge() {
         "different seeds should not collide"
     );
 }
+
+#[test]
+fn telemetry_does_not_perturb_the_transcript() {
+    // Telemetry enabled (logical clock + in-memory sink) must be purely
+    // observational: the protocol transcript of a telemetry-enabled run is
+    // byte-identical to a plain same-seed run, and two telemetry-enabled
+    // runs also agree on the telemetry transcript itself.
+    use slicer_telemetry::{LogicalClock, MemorySink, TelemetryHandle};
+    use std::sync::Arc;
+
+    let instrumented = |seed: u64| {
+        let sink = Arc::new(MemorySink::new());
+        let handle = TelemetryHandle::with(Arc::new(LogicalClock::default()), sink.clone() as _);
+        let mut sys = SlicerSystem::setup_with(SlicerConfig::test_8bit(), seed, handle);
+        sys.build(&db(24)).expect("in-domain build");
+        sys.insert(&[(RecordId::from_u64(500), 42), (RecordId::from_u64(501), 7)])
+            .expect("in-domain insert");
+        sys.search(&Query::less_than(100), 10).expect("search runs");
+        sys.search(&Query::equal(42), 10).expect("search runs");
+        (sys, sink)
+    };
+
+    let plain = run_lifecycle(0xD5EED);
+    let (with_telemetry, sink_a) = instrumented(0xD5EED);
+    let (again, sink_b) = instrumented(0xD5EED);
+
+    assert_eq!(plain.chain().height(), with_telemetry.chain().height());
+    for (block_p, block_t) in plain
+        .chain()
+        .blocks()
+        .iter()
+        .zip(with_telemetry.chain().blocks())
+    {
+        assert_eq!(
+            to_bytes(block_p).expect("encodes"),
+            to_bytes(block_t).expect("encodes"),
+            "telemetry changed block {} of the chain transcript",
+            block_p.number
+        );
+    }
+    assert_eq!(
+        to_bytes(plain.instance().owner.state()).expect("encodes"),
+        to_bytes(with_telemetry.instance().owner.state()).expect("encodes"),
+        "telemetry changed the owner state"
+    );
+
+    assert!(!sink_a.is_empty(), "spans and counters reached the sink");
+    assert_eq!(
+        sink_a.transcript(),
+        sink_b.transcript(),
+        "same-seed telemetry transcripts must be byte-identical"
+    );
+}
