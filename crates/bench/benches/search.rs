@@ -33,7 +33,7 @@ fn main() {
         });
         let eq_results = cloud.search(&eq_tokens);
         group.run(&format!("equality/vo/{bits}"), || {
-            black_box(cloud.prove(&eq_results));
+            black_box(cloud.prove(&eq_results).expect("bench state is honest"));
         });
 
         let ord_tokens = owner.search_tokens(&Query::less_than(probe));
@@ -43,7 +43,7 @@ fn main() {
         let ord_results = cloud.search(&ord_tokens);
         cloud.set_strategy(WitnessStrategy::Batched);
         group.run(&format!("order/vo_batched/{bits}"), || {
-            black_box(cloud.prove(&ord_results));
+            black_box(cloud.prove(&ord_results).expect("bench state is honest"));
         });
     }
 }

@@ -120,7 +120,7 @@ pub fn search_experiments(scale: f64, bits_list: &[u8], queries: usize) -> Vec<T
                 eq_search += t0.elapsed().as_secs_f64();
                 eq_bytes += results.iter().map(|r| r.er.len() * 32).sum::<usize>();
                 let t0 = Instant::now();
-                let vos = cloud.prove(&results);
+                let vos = cloud.prove(&results).expect("bench state is honest");
                 eq_vo += t0.elapsed().as_secs_f64();
                 drop(vos);
 
@@ -132,7 +132,7 @@ pub fn search_experiments(scale: f64, bits_list: &[u8], queries: usize) -> Vec<T
                 ord_search += t0.elapsed().as_secs_f64();
                 ord_bytes += results.iter().map(|r| r.er.len() * 32).sum::<usize>();
                 let t0 = Instant::now();
-                let vos = cloud.prove(&results);
+                let vos = cloud.prove(&results).expect("bench state is honest");
                 ord_vo += t0.elapsed().as_secs_f64();
                 ord_vo_bytes += vos.iter().map(Vec::len).sum::<usize>();
             }

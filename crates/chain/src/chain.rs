@@ -8,7 +8,7 @@ use crate::gas::{GasBreakdown, GasCategory, GasMeter, GasSchedule};
 use crate::tx::{Transaction, TxReceipt, TxStatus};
 use crate::types::{Address, H256};
 use crate::CallContext;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 struct Account {
     balance: u128,
@@ -28,8 +28,10 @@ struct Deployed {
 /// protocol wiring uses).
 pub struct Blockchain {
     schedule: GasSchedule,
-    accounts: HashMap<Address, Account>,
-    contracts: HashMap<Address, Deployed>,
+    // Ordered maps keep account/contract iteration deterministic across
+    // runs (det.hash_collection invariant).
+    accounts: BTreeMap<Address, Account>,
+    contracts: BTreeMap<Address, Deployed>,
     blocks: Vec<Block>,
     pending: Vec<TxReceipt>,
 }
@@ -60,8 +62,8 @@ impl Blockchain {
     pub fn with_schedule(schedule: GasSchedule) -> Self {
         Blockchain {
             schedule,
-            accounts: HashMap::new(),
-            contracts: HashMap::new(),
+            accounts: BTreeMap::new(),
+            contracts: BTreeMap::new(),
             blocks: vec![Block::genesis()],
             pending: Vec::new(),
         }
@@ -90,7 +92,7 @@ impl Blockchain {
 
     /// Current chain height.
     pub fn height(&self) -> u64 {
-        self.blocks.last().expect("genesis always present").number
+        self.blocks.last().map_or(0, |b| b.number)
     }
 
     /// All sealed blocks.
@@ -101,7 +103,10 @@ impl Blockchain {
     /// Verifies the whole hash chain (integrity check used in tests and by
     /// auditors).
     pub fn verify_chain(&self) -> bool {
-        self.blocks.windows(2).all(|w| w[1].verify_link(&w[0]))
+        self.blocks.windows(2).all(|w| match w {
+            [parent, child] => child.verify_link(parent),
+            _ => true,
+        })
     }
 
     /// Reads a raw storage slot of a deployed contract (a public-state
@@ -174,7 +179,7 @@ impl Blockchain {
         // Contracts hold escrowed value in an account of their own.
         self.create_account(address, value);
 
-        let tx_hash = H256::of(&[&from.0[..], &nonce.to_be_bytes(), &code].concat());
+        let tx_hash = H256::of(&[from.0.as_slice(), &nonce.to_be_bytes(), &code].concat());
         let receipt = TxReceipt {
             tx_hash,
             block_number: self.height() + 1,
@@ -216,6 +221,13 @@ impl Blockchain {
         if !self.contracts.contains_key(&tx.to) {
             return Err(ChainError::UnknownContract(tx.to));
         }
+        let mut meter = GasMeter::new(tx.gas_limit);
+        if meter.charge(intrinsic).is_err() {
+            return Err(ChainError::IntrinsicGasTooLow {
+                limit: tx.gas_limit,
+                needed: intrinsic,
+            });
+        }
         let nonce = {
             let acct = self
                 .accounts
@@ -234,46 +246,65 @@ impl Blockchain {
             n
         };
 
-        let mut meter = GasMeter::new(tx.gas_limit);
-        meter
-            .charge(intrinsic)
-            .expect("intrinsic fits: checked above");
         let mut gas_breakdown = GasBreakdown::default();
         gas_breakdown.add(GasCategory::Intrinsic, intrinsic);
 
         // Execute against a copy of storage so reverts roll back cleanly.
-        let deployed = self.contracts.get_mut(&tx.to).expect("checked above");
-        let mut storage = deployed.storage.clone();
+        let mut storage = self
+            .contracts
+            .get(&tx.to)
+            .map(|d| d.storage.clone())
+            .unwrap_or_default();
         let mut payouts: Vec<(Address, u128)> = Vec::new();
         let mut logs: Vec<crate::tx::LogEvent> = Vec::new();
-        let result = {
-            let mut ctx = CallContext {
-                caller: tx.from,
-                value: tx.value,
-                this: tx.to,
-                storage: &mut storage,
-                meter: &mut meter,
-                schedule: &self.schedule,
-                payouts: &mut payouts,
-                logs: &mut logs,
-                breakdown: &mut gas_breakdown,
-            };
-            deployed.contract.execute(&mut ctx, &tx.data)
+        let result = match self.contracts.get(&tx.to) {
+            Some(deployed) => {
+                let mut ctx = CallContext {
+                    caller: tx.from,
+                    value: tx.value,
+                    this: tx.to,
+                    storage: &mut storage,
+                    meter: &mut meter,
+                    schedule: &self.schedule,
+                    payouts: &mut payouts,
+                    logs: &mut logs,
+                    breakdown: &mut gas_breakdown,
+                };
+                deployed.contract.execute(&mut ctx, &tx.data)
+            }
+            None => return Err(ChainError::UnknownContract(tx.to)),
         };
+
+        // Settlement safety: a contract that queues payouts beyond its
+        // escrow reverts as a whole instead of settling partially (or
+        // crashing the runtime, as the old assert! did).
+        let result = result.and_then(|out| {
+            let escrow = self.balance(&tx.to).saturating_add(tx.value);
+            let total = payouts
+                .iter()
+                .fold(0u128, |acc, (_, amount)| acc.saturating_add(*amount));
+            if total > escrow {
+                Err(crate::error::ContractError::EscrowOverdraw {
+                    have: escrow,
+                    need: total,
+                })
+            } else {
+                Ok(out)
+            }
+        });
 
         let (status, output) = match result {
             Ok(out) => {
-                deployed.storage = storage;
+                if let Some(deployed) = self.contracts.get_mut(&tx.to) {
+                    deployed.storage = storage;
+                }
                 // Value moves into the contract's escrow account, then
-                // queued payouts are applied.
+                // queued payouts (validated against escrow above) apply.
                 self.create_account(tx.to, tx.value);
                 for (to, amount) in payouts {
-                    let contract_acct = self.accounts.get_mut(&tx.to).expect("created just above");
-                    assert!(
-                        contract_acct.balance >= amount,
-                        "contract attempted to overdraw its escrow"
-                    );
-                    contract_acct.balance -= amount;
+                    if let Some(contract_acct) = self.accounts.get_mut(&tx.to) {
+                        contract_acct.balance = contract_acct.balance.saturating_sub(amount);
+                    }
                     self.create_account(to, amount);
                 }
                 (TxStatus::Succeeded, out)
@@ -281,10 +312,7 @@ impl Blockchain {
             Err(e) => {
                 // Revert: refund the value, keep the gas, drop the logs.
                 logs.clear();
-                self.accounts
-                    .get_mut(&tx.from)
-                    .expect("sender exists")
-                    .balance += tx.value;
+                self.create_account(tx.from, tx.value);
                 (TxStatus::Reverted(e.to_string()), Vec::new())
             }
         };
@@ -303,12 +331,13 @@ impl Blockchain {
     }
 
     /// Seals the pending block (PoA: the single sealer signs by fiat).
-    pub fn seal_block(&mut self) -> &Block {
+    pub fn seal_block(&mut self) {
         let receipts = std::mem::take(&mut self.pending);
-        let parent = self.blocks.last().expect("genesis");
-        let block = Block::seal(parent, receipts);
+        let block = match self.blocks.last() {
+            Some(parent) => Block::seal(parent, receipts),
+            None => Block::genesis(),
+        };
         self.blocks.push(block);
-        self.blocks.last().expect("just pushed")
     }
 }
 

@@ -3,16 +3,18 @@
 use crate::error::ContractError;
 use crate::gas::{GasBreakdown, GasCategory, GasMeter, GasSchedule};
 use crate::types::Address;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Per-contract persistent key/value storage.
-pub type ContractStorage = HashMap<Vec<u8>, Vec<u8>>;
+/// Per-contract persistent key/value storage. An ordered map so storage
+/// iteration (state-root hashing, debugging dumps) is deterministic.
+pub type ContractStorage = BTreeMap<Vec<u8>, Vec<u8>>;
 
 /// Execution context handed to a contract call.
 ///
 /// All storage access goes through the context so it can be gas-metered;
 /// value payouts are collected and applied by the chain only if the call
 /// succeeds (reverts roll everything back).
+#[derive(Debug)]
 pub struct CallContext<'a> {
     /// Transaction sender.
     pub caller: Address,

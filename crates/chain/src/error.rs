@@ -16,6 +16,16 @@ pub enum ContractError {
     BadCalldata(String),
     /// The caller is not authorized for this method.
     Unauthorized,
+    /// The contract queued payouts exceeding its escrowed balance. The
+    /// transaction reverts instead of the runtime panicking: a malformed
+    /// contract must never take the settlement layer down (fair payment is
+    /// an availability property, Section IV-B).
+    EscrowOverdraw {
+        /// Escrow available to the contract (incl. the attached value).
+        have: u128,
+        /// Total payout the contract attempted.
+        need: u128,
+    },
 }
 
 impl fmt::Display for ContractError {
@@ -25,6 +35,9 @@ impl fmt::Display for ContractError {
             ContractError::Reverted(r) => write!(f, "reverted: {r}"),
             ContractError::BadCalldata(r) => write!(f, "malformed calldata: {r}"),
             ContractError::Unauthorized => write!(f, "caller not authorized"),
+            ContractError::EscrowOverdraw { have, need } => {
+                write!(f, "contract escrow {have} cannot cover payouts of {need}")
+            }
         }
     }
 }

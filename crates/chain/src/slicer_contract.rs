@@ -212,32 +212,44 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ContractError> {
-        if self.pos + n > self.data.len() {
-            return Err(ContractError::BadCalldata("truncated input".into()));
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| ContractError::BadCalldata("truncated input".into()))?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| ContractError::BadCalldata("truncated input".into()))?;
+        self.pos = end;
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ContractError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ContractError::BadCalldata("truncated input".into()))
+    }
+
     fn u8(&mut self) -> Result<u8, ContractError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     fn u16(&mut self) -> Result<u16, ContractError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, ContractError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     fn array20(&mut self) -> Result<[u8; 20], ContractError> {
-        Ok(self.take(20)?.try_into().expect("len 20"))
+        self.array()
     }
 
     fn array32(&mut self) -> Result<[u8; 32], ContractError> {
-        Ok(self.take(32)?.try_into().expect("len 32"))
+        self.array()
     }
 
     fn bytes16(&mut self) -> Result<Vec<u8>, ContractError> {
@@ -255,6 +267,7 @@ impl<'a> Reader<'a> {
 }
 
 /// The deployed Slicer verification contract.
+#[derive(Debug)]
 pub struct SlicerContract {
     params: RsaParams,
     prime_bits: u32,
@@ -396,7 +409,7 @@ impl Contract for SlicerContract {
                 let mut r = Reader::new(&record);
                 let user = Address(r.array20()?);
                 let cloud = Address(r.array20()?);
-                let amount = u128::from_be_bytes(r.take(16)?.try_into().expect("len 16"));
+                let amount = u128::from_be_bytes(r.array()?);
                 let n_tokens = r.u16()?;
                 let mut tokens = Vec::with_capacity(n_tokens as usize);
                 for _ in 0..n_tokens {
@@ -421,12 +434,16 @@ impl Contract for SlicerContract {
                 let mut all_ok = entries.len() == tokens.len();
                 for e in &entries {
                     let idx = e.token_idx as usize;
-                    if idx >= tokens.len() || seen[idx] {
+                    let (Some(token), Some(slot)) = (tokens.get(idx), seen.get_mut(idx)) else {
+                        all_ok = false;
+                        break;
+                    };
+                    if *slot {
                         all_ok = false;
                         break;
                     }
-                    seen[idx] = true;
-                    if !self.verify_entry(ctx, &tokens[idx], e, &ac)? {
+                    *slot = true;
+                    if !self.verify_entry(ctx, token, e, &ac)? {
                         all_ok = false;
                         break;
                     }

@@ -35,16 +35,14 @@ impl Address {
         input.extend_from_slice(&deployer.0);
         input.extend_from_slice(&nonce.to_be_bytes());
         let h = sha256(&input);
-        let mut out = [0u8; 20];
-        out.copy_from_slice(&h[12..32]);
-        Address(out)
+        Address(*h.last_chunk().unwrap_or(&[0u8; 20]))
     }
 }
 
 impl fmt::Display for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "0x")?;
-        for b in &self.0[..4] {
+        for b in self.0.iter().take(4) {
             write!(f, "{b:02x}")?;
         }
         write!(f, "…")
@@ -77,7 +75,7 @@ impl H256 {
 impl fmt::Display for H256 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "0x")?;
-        for b in &self.0[..6] {
+        for b in self.0.iter().take(6) {
             write!(f, "{b:02x}")?;
         }
         write!(f, "…")

@@ -175,23 +175,23 @@ impl CloudServer {
     /// Generates verification objects for a batch of slice results
     /// (`MemWit` of Section III-B), using the configured strategy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a result's prime is not in the stored prime list — that
-    /// means the cloud's own search output is inconsistent with what the
-    /// owner accumulated, i.e. local state corruption.
-    pub fn prove(&mut self, results: &[SliceResult]) -> Vec<Vec<u8>> {
+    /// Returns [`SlicerError::IndexCorruption`] if a result's prime is not
+    /// in the stored prime list — that means the cloud's own search output
+    /// is inconsistent with what the owner accumulated, i.e. local state
+    /// corruption.
+    pub fn prove(&mut self, results: &[SliceResult]) -> Result<Vec<Vec<u8>>, SlicerError> {
         let _span = self.telemetry.span("cloud.prove");
         let xs: Vec<slicer_bignum::BigUint> = results.iter().map(|r| self.prime_for(r)).collect();
         let targets: Vec<usize> = xs
             .iter()
             .map(|x| {
-                self.state
-                    .primes
-                    .position(x)
-                    .expect("result prime missing from X: cloud state corrupt")
+                self.state.primes.position(x).ok_or_else(|| {
+                    SlicerError::IndexCorruption("result prime missing from X".into())
+                })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let params = &self.config.accumulator;
         let elem = params.element_bytes();
         let witnesses = match self.strategy {
@@ -212,28 +212,33 @@ impl CloudServer {
                     .update(params, self.state.primes.as_slice());
                 xs.iter()
                     .map(|x| {
-                        self.witness_cache
-                            .get(x)
-                            .expect("cache covers every accumulated prime")
-                            .clone()
+                        self.witness_cache.get(x).cloned().ok_or_else(|| {
+                            SlicerError::IndexCorruption(
+                                "witness cache misses an accumulated prime".into(),
+                            )
+                        })
                     })
-                    .collect()
+                    .collect::<Result<_, _>>()?
             }
         };
         self.telemetry
             .count("cloud.witnesses.generated", witnesses.len() as u64);
-        witnesses
+        Ok(witnesses
             .into_iter()
             .map(|w| w.to_bytes_be_padded(elem))
-            .collect()
+            .collect())
     }
 
     /// Full Algorithm 4: search + VO generation, producing the
     /// contract-ready entries.
-    pub fn respond(&mut self, tokens: &[SearchToken]) -> CloudResponse {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CloudServer::prove`] state-corruption errors.
+    pub fn respond(&mut self, tokens: &[SearchToken]) -> Result<CloudResponse, SlicerError> {
         let _span = self.telemetry.span("cloud.respond");
         let results = self.search(tokens);
-        let vos = self.prove(&results);
+        let vos = self.prove(&results)?;
         let entries = results
             .iter()
             .zip(vos)
@@ -244,7 +249,7 @@ impl CloudServer {
                 vo,
             })
             .collect();
-        CloudResponse { entries, results }
+        Ok(CloudResponse { entries, results })
     }
 }
 
@@ -290,9 +295,8 @@ pub mod malicious {
     /// Swaps the results of the first two slices while keeping their
     /// witnesses (mismatched result/proof binding).
     pub fn swap_results(mut resp: CloudResponse) -> CloudResponse {
-        if resp.entries.len() >= 2 {
-            let (a, b) = resp.entries.split_at_mut(1);
-            std::mem::swap(&mut a[0].er, &mut b[0].er);
+        if let [first, second, ..] = resp.entries.as_mut_slice() {
+            std::mem::swap(&mut first.er, &mut second.er);
         }
         resp
     }
@@ -355,7 +359,7 @@ mod tests {
     fn honest_witnesses_verify_against_owner_accumulator() {
         let (owner, mut cloud) = setup(25);
         let tokens = owner.search_tokens(&Query::less_than(100));
-        let resp = cloud.respond(&tokens);
+        let resp = cloud.respond(&tokens).unwrap();
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
@@ -371,11 +375,11 @@ mod tests {
         let tokens = owner.search_tokens(&Query::less_than(100));
         let results = cloud.search(&tokens);
         cloud.set_strategy(WitnessStrategy::Direct);
-        let direct = cloud.prove(&results);
+        let direct = cloud.prove(&results).unwrap();
         cloud.set_strategy(WitnessStrategy::Batched);
-        let batched = cloud.prove(&results);
+        let batched = cloud.prove(&results).unwrap();
         cloud.set_strategy(WitnessStrategy::Cached);
-        let cached = cloud.prove(&results);
+        let cached = cloud.prove(&results).unwrap();
         assert_eq!(direct, batched);
         assert_eq!(direct, cached);
     }
@@ -387,13 +391,13 @@ mod tests {
         // Warm the cache.
         let tokens = owner.search_tokens(&Query::less_than(100));
         let results = cloud.search(&tokens);
-        cloud.prove(&results);
+        cloud.prove(&results).unwrap();
         // Insert rotates trapdoors and appends primes; the cache must
         // catch up incrementally and still verify.
         let out = owner.insert(&[(RecordId::from_u64(77), 42)]).unwrap();
         cloud.ingest(&out).unwrap();
         let tokens = owner.search_tokens(&Query::equal(42));
-        let resp = cloud.respond(&tokens);
+        let resp = cloud.respond(&tokens).unwrap();
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
@@ -407,7 +411,7 @@ mod tests {
     fn tampered_responses_produce_wrong_primes() {
         let (owner, mut cloud) = setup(25);
         let tokens = owner.search_tokens(&Query::less_than(100));
-        let honest = cloud.respond(&tokens);
+        let honest = cloud.respond(&tokens).unwrap();
         let tampered = malicious::drop_record(honest.clone());
         // Find the slice whose er changed and show its prime moved.
         for (h, t) in honest.results.iter().zip(&tampered.results) {

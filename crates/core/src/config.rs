@@ -19,7 +19,12 @@ pub struct SlicerConfig {
 impl SlicerConfig {
     /// Configuration for `value_bits`-bit values with the fixed 512-bit
     /// accumulator parameters — the evaluation setup.
+    /// # Panics
+    ///
+    /// Panics unless `1 <= value_bits <= 64` — a compile-time-style API
+    /// contract on a constructor that takes literals.
     pub fn with_bits(value_bits: u8) -> Self {
+        // slicer-lint: allow(panic.assert) — constructor precondition on a caller-supplied literal; no fallible path needed
         assert!((1..=64).contains(&value_bits));
         SlicerConfig {
             value_bits,

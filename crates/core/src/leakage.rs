@@ -7,7 +7,7 @@
 //! pattern of one query; `L^repeat` is the repeat matrix.
 
 use crate::messages::{BuildOutput, SearchToken};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A build shipment whose entries or primes do not all share one shape.
@@ -130,14 +130,16 @@ impl RepeatLeakage {
     pub fn of(history: &[SearchToken]) -> Self {
         let r = history.len();
         let mut matrix = vec![vec![false; r]; r];
-        let mut seen: HashMap<([u8; 32], [u8; 32], u32), Vec<usize>> = HashMap::new();
+        let mut seen: BTreeMap<([u8; 32], [u8; 32], u32), Vec<usize>> = BTreeMap::new();
         for (i, t) in history.iter().enumerate() {
             seen.entry((t.g1, t.g2, t.updates)).or_default().push(i);
         }
         for group in seen.values() {
             for &i in group {
                 for &j in group {
-                    matrix[i][j] = true;
+                    if let Some(cell) = matrix.get_mut(i).and_then(|row| row.get_mut(j)) {
+                        *cell = true;
+                    }
                 }
             }
         }
@@ -148,8 +150,8 @@ impl RepeatLeakage {
     pub fn distinct(&self) -> usize {
         // Count rows that are the first occurrence of their pattern.
         let mut count = 0;
-        for i in 0..self.matrix.len() {
-            if (0..i).all(|j| !self.matrix[i][j]) {
+        for (i, row) in self.matrix.iter().enumerate() {
+            if row.iter().take(i).all(|&b| !b) {
                 count += 1;
             }
         }

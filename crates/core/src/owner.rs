@@ -15,7 +15,7 @@ use slicer_mshash::MsetHash;
 use slicer_store::IndexLabel;
 use slicer_telemetry::TelemetryHandle;
 use slicer_trapdoor::Trapdoor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The data owner. Holds all secrets, the trapdoor/set-hash state and the
 /// running accumulator value.
@@ -167,8 +167,9 @@ impl DataOwner {
         // stages; counters flush once at merge time.
         let span_index = self.telemetry.span("owner.build.index");
         let index_start = std::time::Instant::now();
-        // Group record IDs by keyword encoding (DB(w)).
-        let mut groups: HashMap<Vec<u8>, Vec<RecordId>> = HashMap::new();
+        // Group record IDs by keyword encoding (DB(w)). An ordered map, so
+        // builds iterate keywords in one reproducible order.
+        let mut groups: BTreeMap<Vec<u8>, Vec<RecordId>> = BTreeMap::new();
         for rec in records {
             for (attr, value) in &rec.attrs {
                 if *value > self.config.max_value() {
@@ -183,15 +184,12 @@ impl DataOwner {
             }
         }
 
-        // Deterministic iteration order so builds are reproducible.
-        let mut keys: Vec<Vec<u8>> = groups.keys().cloned().collect();
-        keys.sort_unstable();
-
-        let outputs: Vec<KeywordOutput> = if keys.len() >= 64 {
-            self.process_keywords_parallel(&keys, &groups)
+        let outputs: Vec<KeywordOutput> = if groups.len() >= 64 {
+            self.process_keywords_parallel(&groups)
         } else {
-            keys.iter()
-                .map(|w| self.process_keyword(w, &groups[w]))
+            groups
+                .iter()
+                .map(|(w, ids)| self.process_keyword(w, ids))
                 .collect()
         };
 
@@ -205,11 +203,9 @@ impl DataOwner {
         let mut primes = Vec::with_capacity(outputs.len());
         for out in outputs {
             let mut h = match &out.old_state_key {
-                Some(old) => self
-                    .state
-                    .set_hashes
-                    .remove(old)
-                    .expect("old state key must exist in S"),
+                Some(old) => self.state.set_hashes.remove(old).ok_or_else(|| {
+                    SlicerError::IndexCorruption("old state key missing from S".into())
+                })?,
                 None => MsetHash::empty(),
             };
             for enc in &out.hash_delta {
@@ -276,7 +272,7 @@ impl DataOwner {
             let pad = f2.eval2(&t_bytes, &c_bytes);
             // Enc(K_R, R) with a nonce derived per (keyword, generation,
             // counter) — unique slots, so CTR nonces never repeat.
-            let nonce_material = [&t_bytes[..], &c_bytes].concat();
+            let nonce_material = [t_bytes.as_slice(), &c_bytes].concat();
             let nonce = self.keys.prf_g().eval128(&nonce_material);
             let enc = self.keys.record_key().encrypt(rid.as_bytes(), &nonce);
             debug_assert_eq!(enc.len(), 32);
@@ -301,33 +297,34 @@ impl DataOwner {
     }
 
     /// Parallel keyword processing: chunks the (independent) keyword groups
-    /// across std's scoped threads.
+    /// across std's scoped threads. The chunking is deterministic and the
+    /// per-chunk outputs are reassembled in keyword order, so the result is
+    /// identical to the serial path.
     fn process_keywords_parallel(
         &self,
-        keys: &[Vec<u8>],
-        groups: &HashMap<Vec<u8>, Vec<RecordId>>,
+        groups: &BTreeMap<Vec<u8>, Vec<RecordId>>,
     ) -> Vec<KeywordOutput> {
+        let items: Vec<(&Vec<u8>, &Vec<RecordId>)> = groups.iter().collect();
+        // slicer-lint: allow(det.thread) — deterministic fan-out: fixed chunking, outputs merged in keyword order
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
-            .min(keys.len());
-        let chunk = keys.len().div_ceil(threads);
-        let mut outputs: Vec<Option<Vec<KeywordOutput>>> = (0..threads).map(|_| None).collect();
+            .min(items.len())
+            .max(1);
+        let chunk = items.len().div_ceil(threads).max(1);
+        let mut outputs: Vec<Vec<KeywordOutput>> = (0..threads).map(|_| Vec::new()).collect();
+        // slicer-lint: allow(det.thread) — scoped join: all chunks complete before the merge
         std::thread::scope(|s| {
-            for (slot, ks) in outputs.iter_mut().zip(keys.chunks(chunk)) {
+            for (slot, part) in outputs.iter_mut().zip(items.chunks(chunk)) {
                 s.spawn(move || {
-                    *slot = Some(
-                        ks.iter()
-                            .map(|w| self.process_keyword(w, &groups[w]))
-                            .collect(),
-                    );
+                    *slot = part
+                        .iter()
+                        .map(|(w, ids)| self.process_keyword(w, ids))
+                        .collect();
                 });
             }
         });
-        outputs
-            .into_iter()
-            .flat_map(|o| o.expect("all slots filled"))
-            .collect()
+        outputs.into_iter().flatten().collect()
     }
 
     /// Initial trapdoor `t_0` for a fresh keyword, derived from the owner's

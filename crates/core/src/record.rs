@@ -30,18 +30,12 @@ impl RecordId {
     /// Builds an ID from a `u64` (zero-padded) — convenient for synthetic
     /// datasets.
     pub fn from_u64(v: u64) -> Self {
-        let mut b = [0u8; 16];
-        b[8..].copy_from_slice(&v.to_be_bytes());
-        RecordId(b)
+        RecordId(u128::from(v).to_be_bytes())
     }
 
     /// Recovers the `u64` if this ID was built by [`RecordId::from_u64`].
     pub fn as_u64(&self) -> Option<u64> {
-        if self.0[..8].iter().all(|&b| b == 0) {
-            Some(u64::from_be_bytes(self.0[8..].try_into().expect("len 8")))
-        } else {
-            None
-        }
+        u64::try_from(u128::from_be_bytes(self.0)).ok()
     }
 
     /// The raw bytes.
@@ -61,7 +55,7 @@ impl fmt::Display for RecordId {
         if let Some(v) = self.as_u64() {
             write!(f, "R{v}")
         } else {
-            for b in &self.0[..6] {
+            for b in self.0.iter().take(6) {
                 write!(f, "{b:02x}")?;
             }
             write!(f, "…")

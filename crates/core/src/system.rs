@@ -62,12 +62,37 @@ impl SlicerInstance {
     /// [`SlicerInstance::setup`] with a telemetry context that is installed
     /// into all three parties and used for phase metrics. Pass
     /// [`TelemetryHandle::disabled`] for the zero-overhead path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contract deployment fails, which cannot happen on a
+    /// chain that accepts the accounts funded here. Use
+    /// [`SlicerInstance::try_setup_with`] to handle the error instead.
     pub fn setup_with(
         config: SlicerConfig,
         seed: u64,
         chain: &mut Blockchain,
         telemetry: TelemetryHandle,
     ) -> Self {
+        match Self::try_setup_with(config, seed, chain, telemetry) {
+            Ok(instance) => instance,
+            // slicer-lint: allow(panic.panic) — convenience constructor for tests/benches; the fallible path is try_setup_with
+            Err(e) => panic!("slicer setup failed: {e}"),
+        }
+    }
+
+    /// Fallible [`SlicerInstance::setup_with`]: every chain interaction is
+    /// surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures from the contract deployment.
+    pub fn try_setup_with(
+        config: SlicerConfig,
+        seed: u64,
+        chain: &mut Blockchain,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self, SlicerError> {
         let started = Instant::now();
         let owner = DataOwner::new(config.clone(), seed);
         let cloud = CloudServer::new(config.clone(), owner.keys().trapdoor().public().clone());
@@ -76,9 +101,7 @@ impl SlicerInstance {
         // Derive distinct addresses from the seed.
         let addr = |tag: &str| {
             let h = sha256(&[tag.as_bytes(), &seed.to_be_bytes()].concat());
-            let mut a = [0u8; 20];
-            a.copy_from_slice(&h[..20]);
-            Address(a)
+            Address(*h.first_chunk().unwrap_or(&[0u8; 20]))
         };
         let owner_addr = addr("owner");
         let user_addr = addr("user");
@@ -89,9 +112,7 @@ impl SlicerInstance {
 
         let contract =
             SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
-        let deployed = chain
-            .deploy_contract(owner_addr, Box::new(contract), 0)
-            .expect("owner account funded above");
+        let deployed = chain.deploy_contract(owner_addr, Box::new(contract), 0)?;
         chain.seal_block();
 
         telemetry.observe_ns("phase.setup.ns", elapsed_ns(started));
@@ -109,7 +130,7 @@ impl SlicerInstance {
             telemetry: TelemetryHandle::disabled(),
         };
         instance.set_telemetry(telemetry);
-        instance
+        Ok(instance)
     }
 
     /// The instance's telemetry context.
@@ -287,10 +308,13 @@ impl SlicerInstance {
 
         // 1. Register the request with tokens + escrow.
         self.request_counter += 1;
-        let mut rid = [0u8; 32];
-        rid.copy_from_slice(&sha256(
-            &[&self.user_addr.0[..], &self.request_counter.to_be_bytes()].concat(),
-        ));
+        let rid = sha256(
+            &[
+                self.user_addr.0.as_slice(),
+                &self.request_counter.to_be_bytes(),
+            ]
+            .concat(),
+        );
         let width = self.owner.keys().trapdoor().public().trapdoor_bytes();
         let call = SlicerCall::RequestSearch {
             request_id: rid,
@@ -308,7 +332,7 @@ impl SlicerInstance {
         // 2. Cloud searches and proves (tokens travel via the chain in the
         //    real deployment; the cloud reads the same values here).
         let search_start = Instant::now();
-        let response = tamper(self.cloud.respond(&tokens));
+        let response = tamper(self.cloud.respond(&tokens)?);
         let search_wall = search_start.elapsed();
 
         // 3. Submit for verification and settlement.

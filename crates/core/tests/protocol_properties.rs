@@ -77,7 +77,7 @@ fn honest_vos_always_verify() {
         let seed = g.u64_in(0, 999);
         let (owner, mut cloud) = build_system(&values, seed);
         let tokens = owner.search_tokens(&Query::less_than(qv));
-        let resp = cloud.respond(&tokens);
+        let resp = cloud.respond(&tokens).unwrap();
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
@@ -97,7 +97,7 @@ fn any_single_record_drop_is_detected() {
         let (owner, mut cloud) = build_system(&values, seed);
         // Query that matches everything so some slice is non-empty.
         let tokens = owner.search_tokens(&Query::less_than(255));
-        let resp = cloud.respond(&tokens);
+        let resp = cloud.respond(&tokens).unwrap();
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         // Drop one record from each non-empty slice in turn; the slice's

@@ -97,6 +97,7 @@ pub trait Decode: Sized {
 }
 
 /// A cursor over an input byte slice.
+#[derive(Debug)]
 pub struct Reader<'a> {
     input: &'a [u8],
 }

@@ -1,0 +1,195 @@
+//! The grandfathering baseline and its strict ratchet.
+//!
+//! `lint-baseline.txt` records, per `(rule, file)`, how many violations are
+//! tolerated because they predate the linter. The ratchet only ever goes
+//! down: a check fails as soon as any `(rule, file)` count *grows* (or a
+//! new file/rule pair appears), while `--update-baseline` rewrites the file
+//! from the current scan so fixed sites can never silently come back.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Per-`(file, rule)` tolerated counts.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// One regression against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Offending file.
+    pub file: String,
+    /// Offending rule.
+    pub rule: String,
+    /// Count the baseline tolerates (0 when the pair is new).
+    pub allowed: usize,
+    /// Count found now.
+    pub found: usize,
+}
+
+/// Result of comparing a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Pairs whose count grew (check failure).
+    pub grown: Vec<Regression>,
+    /// Pairs whose count shrank (stale baseline; run `--update-baseline`).
+    pub shrunk: Vec<Regression>,
+}
+
+impl Ratchet {
+    /// True when nothing grew.
+    pub fn passed(&self) -> bool {
+        self.grown.is_empty()
+    }
+}
+
+/// Compares current counts against baseline counts.
+pub fn ratchet(current: &Counts, baseline: &Counts) -> Ratchet {
+    let mut out = Ratchet::default();
+    for ((file, rule), &found) in current {
+        let allowed = baseline
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if found > allowed {
+            out.grown.push(Regression {
+                file: file.clone(),
+                rule: rule.clone(),
+                allowed,
+                found,
+            });
+        } else if found < allowed {
+            out.shrunk.push(Regression {
+                file: file.clone(),
+                rule: rule.clone(),
+                allowed,
+                found,
+            });
+        }
+    }
+    for ((file, rule), &allowed) in baseline {
+        if !current.contains_key(&(file.clone(), rule.clone())) && allowed > 0 {
+            out.shrunk.push(Regression {
+                file: file.clone(),
+                rule: rule.clone(),
+                allowed,
+                found: 0,
+            });
+        }
+    }
+    out
+}
+
+/// Parses the baseline file format: `<count>\t<rule>\t<file>` per line,
+/// `#` comments and blank lines ignored.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (count, rule, file) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(c), Some(r), Some(f), None) => (c, r, f),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected 3 tab-separated fields",
+                    idx + 1
+                ))
+            }
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+        counts.insert((file.to_string(), rule.to_string()), count);
+    }
+    Ok(counts)
+}
+
+/// Renders findings into the committed baseline format, with a summary of
+/// per-family totals in the header.
+pub fn render(findings: &[Finding]) -> String {
+    let counts = crate::rules::group_counts(findings);
+    let mut family_totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        let family = f.rule.split('.').next().unwrap_or(f.rule);
+        *family_totals.entry(family).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("# slicer-lint baseline — grandfathered violations, per (rule, file).\n");
+    out.push_str("# Regenerate with: cargo run -p slicer-lint -- --update-baseline\n");
+    out.push_str("# Ratchet: counts may only shrink. Growth anywhere fails --check.\n");
+    for (family, total) in &family_totals {
+        out.push_str(&format!("# total {family}: {total} site(s)\n"));
+    }
+    for ((file, rule), count) in &counts {
+        out.push_str(&format!("{count}\t{rule}\t{file}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        entries
+            .iter()
+            .map(|(f, r, c)| ((f.to_string(), r.to_string()), *c))
+            .collect()
+    }
+
+    #[test]
+    fn growth_fails_shrink_passes() {
+        let base = counts(&[("a.rs", "panic.unwrap", 2)]);
+        let grown = ratchet(&counts(&[("a.rs", "panic.unwrap", 3)]), &base);
+        assert!(!grown.passed());
+        let shrunk = ratchet(&counts(&[("a.rs", "panic.unwrap", 1)]), &base);
+        assert!(shrunk.passed());
+        assert_eq!(shrunk.shrunk.len(), 1);
+        let gone = ratchet(&Counts::new(), &base);
+        assert!(gone.passed());
+        assert_eq!(gone.shrunk[0].found, 0);
+    }
+
+    #[test]
+    fn new_pair_counts_as_growth() {
+        let r = ratchet(&counts(&[("b.rs", "det.wall_clock", 1)]), &Counts::new());
+        assert!(!r.passed());
+        assert_eq!(r.grown[0].allowed, 0);
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let findings = vec![
+            Finding {
+                file: "crates/chain/src/x.rs".into(),
+                line: 3,
+                rule: "panic.unwrap",
+                detail: ".unwrap()".into(),
+            },
+            Finding {
+                file: "crates/chain/src/x.rs".into(),
+                line: 9,
+                rule: "panic.unwrap",
+                detail: ".unwrap()".into(),
+            },
+        ];
+        let text = render(&findings);
+        assert!(text.contains("# total panic: 2 site(s)"));
+        let parsed = parse(&text).expect("roundtrip");
+        assert_eq!(
+            parsed.get(&("crates/chain/src/x.rs".into(), "panic.unwrap".into())),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("nonsense").is_err());
+        assert!(parse("x\tpanic.unwrap\ta.rs").is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! A lightweight Rust lexer: string/char/comment-aware tokenization with
+//! line numbers, plus extraction of `// slicer-lint: allow(..)` pragmas.
+//!
+//! This is deliberately *not* a full Rust grammar (no `syn`, no deps): the
+//! rule engine only needs a faithful token stream where comments, string
+//! literals, char literals and lifetimes can never be mistaken for code.
+
+/// Token classification, as coarse as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal (incl. raw and byte strings).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator (possibly multi-char, e.g. `==`, `::`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim text (for `Str`, the opening delimiter only — rules never
+    /// need string contents, and dropping them keeps findings readable).
+    pub text: String,
+}
+
+/// An inline suppression: `// slicer-lint: allow(<rule>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// The rule id inside `allow(..)`.
+    pub rule: String,
+    /// Free-text justification after the rule (may be empty — the rule
+    /// engine rejects pragmas without one).
+    pub reason: String,
+}
+
+/// Output of [`lex`]: the token stream plus any pragmas found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Multi-char operators, longest first so greedy matching is unambiguous.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `src` into tokens and pragmas. Never fails: unterminated literals
+/// simply consume to end of input (the compiler rejects such files anyway).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                // Doc comments (`///`, `//!`) are documentation — text in
+                // them describing the pragma syntax must not act as one.
+                let doc = matches!(b.get(start + 2), Some(&b'/') | Some(&b'!'));
+                if !doc {
+                    scan_pragma(&src[start..i], line, &mut out.pragmas);
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Str,
+                    text: "\"".into(),
+                });
+                i = skip_string(b, i, &mut line);
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                let (next, kind) = skip_prefixed_literal(b, i, &mut line);
+                let text = match kind {
+                    // String contents are irrelevant to every rule; keep
+                    // the token text small and grep-proof.
+                    TokKind::Str => String::from("\""),
+                    _ => src[i..next].to_string(),
+                };
+                out.tokens.push(Tok { line, kind, text });
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                let (next, kind, text) = lex_quote(src, b, i);
+                out.tokens.push(Tok { line, kind, text });
+                for &ch in &b[i..next] {
+                    if ch == b'\n' {
+                        line += 1;
+                    }
+                }
+                i = next;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // Fractional part — but not a `..` range.
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let text = MULTI_PUNCT
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .map_or_else(|| src[i..i + 1].to_string(), |p| (*p).to_string());
+                i += text.len();
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is `b[i..]` the start of a raw string, raw ident, byte string or byte
+/// char (`r"`, `r#`, `b"`, `b'`, `br`)? Plain idents starting with r/b are
+/// handled by the identifier arm instead.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    match (b[i], b.get(i + 1)) {
+        (b'r', Some(&b'"')) | (b'r', Some(&b'#')) => true,
+        (b'b', Some(&b'"')) | (b'b', Some(&b'\'')) => true,
+        (b'b', Some(&b'r')) => matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')),
+        _ => false,
+    }
+}
+
+/// Skips a literal introduced by an `r`/`b`/`br` prefix; returns the index
+/// past it and its token kind. Raw idents (`r#name`) come back as `Ident`.
+fn skip_prefixed_literal(b: &[u8], i: usize, line: &mut u32) -> (usize, TokKind) {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match b.get(j) {
+        Some(&b'"') => {
+            // (Raw) string: scan to closing quote + same number of hashes.
+            j += 1;
+            let raw = hashes > 0 || b[i] == b'r' || (b[i] == b'b' && b.get(i + 1) == Some(&b'r'));
+            loop {
+                match b.get(j) {
+                    None => return (j, TokKind::Str),
+                    Some(&b'\n') => *line += 1,
+                    Some(&b'\\') if !raw => j += 1,
+                    Some(&b'"') => {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && b.get(k) == Some(&b'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            return (k, TokKind::Str);
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        Some(&b'\'') => {
+            // Byte char b'x'.
+            j += 1;
+            if b.get(j) == Some(&b'\\') {
+                j += 1;
+            }
+            j += 1;
+            if b.get(j) == Some(&b'\'') {
+                j += 1;
+            }
+            (j, TokKind::Char)
+        }
+        // `r#ident` raw identifier.
+        _ => {
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            (j, TokKind::Ident)
+        }
+    }
+}
+
+/// Skips a normal `"..."` string starting at the opening quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 1,
+            b'\n' => *line += 1,
+            b'"' => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+fn lex_quote(src: &str, b: &[u8], i: usize) -> (usize, TokKind, String) {
+    // Escape sequence: definitely a char literal.
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1, TokKind::Char, String::from("'\\'"));
+    }
+    // `'x` where x is ident-ish: lifetime unless closed by another quote.
+    if b.get(i + 1)
+        .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+    {
+        let mut j = i + 1;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return (j + 1, TokKind::Char, src[i..j + 1].to_string());
+        }
+        return (j, TokKind::Lifetime, src[i..j].to_string());
+    }
+    // `'('`-style punctuation char literal.
+    let mut j = i + 1;
+    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+    }
+    (
+        (j + 1).min(b.len()),
+        TokKind::Char,
+        src[i..(j + 1).min(b.len())].to_string(),
+    )
+}
+
+/// Parses a line comment for the pragma syntax
+/// `// slicer-lint: allow(<rule>) — <reason>` (any dash style, or none).
+fn scan_pragma(comment: &str, line: u32, out: &mut Vec<Pragma>) {
+    let Some(pos) = comment.find("slicer-lint:") else {
+        return;
+    };
+    let rest = comment[pos + "slicer-lint:".len()..].trim_start();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = inner.find(')') else {
+        // Malformed pragma: record with an empty rule so the engine can
+        // report it instead of silently ignoring it.
+        out.push(Pragma {
+            line,
+            rule: String::new(),
+            reason: String::new(),
+        });
+        return;
+    };
+    let rule = inner[..close].trim().to_string();
+    let reason = inner[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    out.push(Pragma { line, rule, reason });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // x.unwrap()
+            /* also .unwrap() /* nested */ still comment */
+            let s = "not.unwrap()"; let r = r#"raw "quoted" .unwrap()"#;
+            let b = b"bytes.unwrap()";
+        "##;
+        let toks = texts(src);
+        assert!(!toks.iter().any(|t| t == "unwrap"), "{toks:?}");
+        assert_eq!(toks.iter().filter(|t| *t == "let").count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let toks = texts("a == b != c :: d -> e => f ..= g");
+        for op in ["==", "!=", "::", "->", "=>", "..="] {
+            assert!(toks.iter().any(|t| t == op), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "b")
+            .expect("token b");
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn pragma_parses_rule_and_reason() {
+        let lexed = lex("x(); // slicer-lint: allow(panic.unwrap) — checked by caller\n");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].rule, "panic.unwrap");
+        assert_eq!(lexed.pragmas[0].reason, "checked by caller");
+        assert_eq!(lexed.pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_captured_as_empty() {
+        let lexed = lex("// slicer-lint: allow(det.wall_clock)\n");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert!(lexed.pragmas[0].reason.is_empty());
+    }
+
+    #[test]
+    fn raw_idents_lex_as_idents() {
+        let lexed = lex("let r#type = 1;");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("type")));
+    }
+}

@@ -1,0 +1,105 @@
+//! # slicer-lint
+//!
+//! A from-scratch, zero-dependency static-analysis pass over every
+//! workspace `src/` file, enforcing three invariant families the compiler
+//! cannot check but Slicer's security argument depends on:
+//!
+//! 1. **Panic-freedom** in the protocol/settlement crates (`chain`,
+//!    `core`, `sore`, `store`, `accumulator`): a panicking verifier is an
+//!    availability attack on fair payment (Section IV-B), so `unwrap()`,
+//!    `expect(..)`, `panic!`, `unreachable!`, `assert!` and bare slice
+//!    indexing are denied in non-test code.
+//! 2. **Constant-time discipline** in `crypto`, `bignum` and `sore`:
+//!    `==`/`!=` on secret-named operands and early exits inside comparison
+//!    loops leak through timing, breaking the IND-OCPA-style leakage
+//!    bound — `ct_eq`-style primitives are the sanctioned alternative.
+//! 3. **Determinism** everywhere outside `crates/telemetry`'s Clock
+//!    abstraction: `HashMap`/`HashSet` iteration order, `SystemTime`,
+//!    `Instant::now` and `std::thread` all make same-seed transcripts
+//!    diverge, which the determinism suite forbids.
+//!
+//! Existing violations are grandfathered in `lint-baseline.txt` with a
+//! strict ratchet (counts may only shrink); new code must be clean or
+//! carry an inline `// slicer-lint: allow(<rule>) — <reason>` pragma.
+//!
+//! Run it as `cargo run -p slicer-lint -- --check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{policy_for, scan_source, Finding, Policy, ALL_RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Collects every `.rs` file the linter covers: `crates/*/src/**` plus the
+/// root `src/**`, sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every covered file under `root` and returns all findings, with
+/// paths made workspace-relative (forward slashes).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable files).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_files(root)? {
+        let rel = relative_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        findings.extend(scan_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+/// `root`-relative path with forward slashes (baseline entries must not
+/// depend on the host OS).
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,177 @@
+//! CLI driver: `cargo run -p slicer-lint -- [--check|--update-baseline|--list]`.
+//!
+//! * `--check` (default) — scan the workspace, compare against
+//!   `lint-baseline.txt`, exit 1 if any `(rule, file)` count grew.
+//! * `--update-baseline` — rewrite the baseline from the current scan
+//!   (shrinking the ratchet as sites are fixed).
+//! * `--list` — print every current finding (including grandfathered
+//!   ones) without judging.
+//! * `--strict` — with `--check`, also fail when the baseline is stale
+//!   (counts shrank without `--update-baseline`).
+//! * `--root <dir>` — workspace root (default: the lint crate's
+//!   grandparent, i.e. the repo root when run via cargo).
+
+use slicer_lint::{baseline, rules, scan_workspace, Finding, BASELINE_FILE};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    mode: Mode,
+    strict: bool,
+    root: PathBuf,
+}
+
+#[derive(PartialEq, Eq)]
+enum Mode {
+    Check,
+    UpdateBaseline,
+    List,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = Mode::Check;
+    let mut strict = false;
+    let mut root = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--list" => mode = Mode::List,
+            "--strict" => strict = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: slicer-lint [--check|--update-baseline|--list] [--strict] [--root DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}; try --help")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        // CARGO_MANIFEST_DIR = <root>/crates/lint.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .ok_or("cannot locate workspace root; pass --root")?
+            .to_path_buf(),
+    };
+    Ok(Args { mode, strict, root })
+}
+
+fn family_summary(findings: &[Finding]) -> String {
+    let mut totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *totals
+            .entry(f.rule.split('.').next().unwrap_or(f.rule))
+            .or_insert(0) += 1;
+    }
+    let parts: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    if parts.is_empty() {
+        "clean".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("slicer-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match scan_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("slicer-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match args.mode {
+        Mode::List => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "slicer-lint: {} finding(s) ({})",
+                findings.len(),
+                family_summary(&findings)
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::UpdateBaseline => {
+            let path = args.root.join(BASELINE_FILE);
+            if let Err(e) = std::fs::write(&path, baseline::render(&findings)) {
+                eprintln!("slicer-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "slicer-lint: baseline updated — {} grandfathered site(s) ({})",
+                findings.len(),
+                family_summary(&findings)
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::Check => {
+            let path = args.root.join(BASELINE_FILE);
+            let base = match std::fs::read_to_string(&path) {
+                Ok(text) => match baseline::parse(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("slicer-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                // No baseline yet: everything current must be clean.
+                Err(_) => baseline::Counts::new(),
+            };
+            let current = rules::group_counts(&findings);
+            let ratchet = baseline::ratchet(&current, &base);
+
+            for g in &ratchet.grown {
+                eprintln!(
+                    "slicer-lint: RATCHET VIOLATION {}: [{}] {} site(s), baseline allows {}",
+                    g.file, g.rule, g.found, g.allowed
+                );
+                for f in findings
+                    .iter()
+                    .filter(|f| f.file == g.file && f.rule == g.rule)
+                {
+                    eprintln!("  {f}");
+                }
+            }
+            for s in &ratchet.shrunk {
+                eprintln!(
+                    "slicer-lint: note: {} [{}] shrank {} -> {}; run --update-baseline to ratchet",
+                    s.file, s.rule, s.allowed, s.found
+                );
+            }
+            let stale_fails = args.strict && !ratchet.shrunk.is_empty();
+            if ratchet.passed() && !stale_fails {
+                println!(
+                    "slicer-lint: OK — {} grandfathered site(s) ({}), ratchet holds",
+                    findings.len(),
+                    family_summary(&findings)
+                );
+                ExitCode::SUCCESS
+            } else {
+                if stale_fails && ratchet.passed() {
+                    eprintln!("slicer-lint: FAILED (--strict): baseline is stale");
+                } else {
+                    eprintln!(
+                        "slicer-lint: FAILED — fix the new sites, add a justified pragma, or (only for pre-existing debt) --update-baseline"
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

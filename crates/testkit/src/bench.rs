@@ -22,6 +22,7 @@ pub use std::hint::black_box;
 pub const BENCH_JSON_ENV: &str = "SLICER_BENCH_JSON";
 
 /// A named group of micro-benchmarks sharing one timing configuration.
+#[derive(Debug)]
 pub struct Bench {
     group: String,
     warmup: Duration,

@@ -25,12 +25,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// Default number of cases for workspace property tests.
 pub const DEFAULT_CASES: u64 = 64;
 
+#[derive(Debug)]
 enum Source {
     Fresh(HmacDrbg),
     Replay { choices: Vec<u64>, pos: usize },
 }
 
 /// A deterministic, recordable source of test inputs.
+#[derive(Debug)]
 pub struct Gen {
     source: Source,
     record: Vec<u64>,

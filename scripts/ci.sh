@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "==> slicer-lint --check (static-analysis ratchet)"
+cargo run -q --release --offline -p slicer-lint -- --check
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace --release
 

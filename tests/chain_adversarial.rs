@@ -142,7 +142,7 @@ fn verification_runs_out_of_gas_gracefully() {
         .unwrap();
     assert!(r.status.is_success());
 
-    let response = sys.instance_mut().cloud.respond(&tokens);
+    let response = sys.instance_mut().cloud.respond(&tokens).unwrap();
     let submit = SlicerCall::SubmitResult {
         request_id: [9u8; 32],
         entries: response.entries.clone(),

@@ -44,7 +44,7 @@ fn restored_cloud_serves_verifiable_results() {
     );
 
     let tokens = owner.search_tokens(&Query::less_than(100));
-    let resp = restored.respond(&tokens);
+    let resp = restored.respond(&tokens).unwrap();
     let params = &owner.config().accumulator;
     let acc = slicer_accumulator::Accumulator::from_value(params, owner.accumulator().clone());
     assert!(!resp.entries.is_empty());
