@@ -47,6 +47,8 @@ pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) 
     if targets.is_empty() {
         return Vec::new();
     }
+    let mut span = slicer_telemetry::global::span("accumulator.witness");
+    span.attr("targets", targets.len());
     slicer_telemetry::global::count("accumulator.witness.batched", targets.len() as u64);
     let mut in_targets = vec![false; primes.len()];
     for &t in targets {

@@ -11,8 +11,14 @@ use crate::{mb, record_sweep, secs};
 use slicer_core::{
     CloudServer, DataOwner, Query, RecordId, SlicerConfig, SlicerSystem, WitnessStrategy,
 };
+use slicer_telemetry::{Clock, MonotonicClock};
 use slicer_workload::{sample_query_values, DatasetSpec};
-use std::time::Instant;
+
+/// Seconds elapsed since `start_ns` on `clock` (timing goes through the
+/// injectable telemetry [`Clock`] so the det.wall_clock lint holds).
+fn secs_since(clock: &MonotonicClock, start_ns: u64) -> f64 {
+    clock.now_nanos().saturating_sub(start_ns) as f64 * 1e-9
+}
 
 fn dataset(n: usize, bits: u8, seed: u64) -> Vec<(RecordId, u64)> {
     DatasetSpec::uniform(n, bits, seed)
@@ -112,28 +118,29 @@ pub fn search_experiments(scale: f64, bits_list: &[u8], queries: usize) -> Vec<T
             let (mut eq_search, mut eq_vo, mut eq_bytes) = (0.0f64, 0.0f64, 0usize);
             let (mut ord_search, mut ord_vo, mut ord_bytes) = (0.0f64, 0.0f64, 0usize);
             let (mut ord_tokens, mut ord_vo_bytes) = (0usize, 0usize);
+            let clock = MonotonicClock::new();
             for &v in &values {
                 // Equality query.
                 let tokens = owner.search_tokens(&Query::equal(v));
-                let t0 = Instant::now();
+                let t0 = clock.now_nanos();
                 let results = cloud.search(&tokens);
-                eq_search += t0.elapsed().as_secs_f64();
+                eq_search += secs_since(&clock, t0);
                 eq_bytes += results.iter().map(|r| r.er.len() * 32).sum::<usize>();
-                let t0 = Instant::now();
+                let t0 = clock.now_nanos();
                 let vos = cloud.prove(&results).expect("bench state is honest");
-                eq_vo += t0.elapsed().as_secs_f64();
+                eq_vo += secs_since(&clock, t0);
                 drop(vos);
 
                 // Order query (< v).
                 let tokens = owner.search_tokens(&Query::less_than(v));
                 ord_tokens += tokens.len();
-                let t0 = Instant::now();
+                let t0 = clock.now_nanos();
                 let results = cloud.search(&tokens);
-                ord_search += t0.elapsed().as_secs_f64();
+                ord_search += secs_since(&clock, t0);
                 ord_bytes += results.iter().map(|r| r.er.len() * 32).sum::<usize>();
-                let t0 = Instant::now();
+                let t0 = clock.now_nanos();
                 let vos = cloud.prove(&results).expect("bench state is honest");
-                ord_vo += t0.elapsed().as_secs_f64();
+                ord_vo += secs_since(&clock, t0);
                 ord_vo_bytes += vos.iter().map(Vec::len).sum::<usize>();
             }
             let q = queries as f64;

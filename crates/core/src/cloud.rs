@@ -7,7 +7,7 @@ use crate::messages::{BuildOutput, CloudResponse, SearchToken, SliceResult};
 use crate::owner::state_key;
 use slicer_accumulator::{hash_to_prime, witness};
 use slicer_chain::VerifyEntry;
-use slicer_crypto::Prf;
+use slicer_crypto::{sha256, Prf};
 use slicer_mshash::MsetHash;
 use slicer_store::CloudState;
 use slicer_telemetry::TelemetryHandle;
@@ -113,6 +113,7 @@ impl CloudServer {
     /// `t_j` down to `t_0`, scanning counters until the first miss in each
     /// generation.
     pub fn search_one(&self, token: &SearchToken) -> SliceResult {
+        let mut span = self.telemetry.span("cloud.token");
         let width = self.trapdoor_pk.trapdoor_bytes();
         let f1 = Prf::new(&token.g1);
         let f2 = Prf::new(&token.g2);
@@ -142,6 +143,14 @@ impl CloudServer {
         self.telemetry.count("cloud.index.hits", er.len() as u64);
         self.telemetry
             .count("cloud.index.misses", u64::from(token.updates) + 1);
+        // The span records exactly the server's view of this token:
+        // generations walked, entries recovered, and the token's identity
+        // fingerprint — `L^search` and the `L^repeat` input, no more.
+        if span.is_recording() {
+            span.attr("token.updates", token.updates);
+            span.attr("token.hits", er.len());
+            span.attr("token.fp", token_fingerprint(token));
+        }
         SliceResult {
             token: token.clone(),
             er,
@@ -150,7 +159,8 @@ impl CloudServer {
 
     /// Searches all tokens of a query.
     pub fn search(&self, tokens: &[SearchToken]) -> Vec<SliceResult> {
-        let _span = self.telemetry.span("cloud.search");
+        let mut span = self.telemetry.span("cloud.search");
+        span.attr("tokens", tokens.len());
         tokens.iter().map(|t| self.search_one(t)).collect()
     }
 
@@ -182,7 +192,7 @@ impl CloudServer {
     /// is inconsistent with what the owner accumulated, i.e. local state
     /// corruption.
     pub fn prove(&mut self, results: &[SliceResult]) -> Result<Vec<Vec<u8>>, SlicerError> {
-        let _span = self.telemetry.span("cloud.prove");
+        let mut span = self.telemetry.span("cloud.prove");
         let xs: Vec<slicer_bignum::BigUint> = results.iter().map(|r| self.prime_for(r)).collect();
         let targets: Vec<usize> = xs
             .iter()
@@ -223,6 +233,7 @@ impl CloudServer {
         };
         self.telemetry
             .count("cloud.witnesses.generated", witnesses.len() as u64);
+        span.attr("witnesses", witnesses.len());
         Ok(witnesses
             .into_iter()
             .map(|w| w.to_bytes_be_padded(elem))
@@ -236,7 +247,8 @@ impl CloudServer {
     ///
     /// Propagates [`CloudServer::prove`] state-corruption errors.
     pub fn respond(&mut self, tokens: &[SearchToken]) -> Result<CloudResponse, SlicerError> {
-        let _span = self.telemetry.span("cloud.respond");
+        let mut span = self.telemetry.span("cloud.respond");
+        span.attr("tokens", tokens.len());
         let results = self.search(tokens);
         let vos = self.prove(&results)?;
         let entries = results
@@ -251,6 +263,19 @@ impl CloudServer {
             .collect();
         Ok(CloudResponse { entries, results })
     }
+}
+
+/// The server-visible identity of a token: tokens carrying the same
+/// `(G1, G2, j)` triple are indistinguishable repeats (the `L^repeat`
+/// equivalence), so their fingerprints coincide and nothing else about
+/// the token is exposed.
+fn token_fingerprint(token: &SearchToken) -> u64 {
+    let mut material = Vec::with_capacity(68);
+    material.extend_from_slice(&token.g1);
+    material.extend_from_slice(&token.g2);
+    material.extend_from_slice(&token.updates.to_be_bytes());
+    let h = sha256(&material);
+    u64::from_be_bytes(h.first_chunk().copied().unwrap_or([0u8; 8]))
 }
 
 /// Malicious-cloud behaviours (Section IV-B threat model): each helper

@@ -143,6 +143,7 @@ impl DualSlicer {
             verify_gas: ins.verify_gas + del.verify_gas,
             paid_cloud: ins.paid_cloud || del.paid_cloud,
             profile,
+            trace_id: ins.trace_id,
         })
     }
 

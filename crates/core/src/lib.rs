@@ -22,6 +22,10 @@
 //! * [`DualSlicer`] — the Section V-F extension supporting deletion and
 //!   update by running an insert-instance and a delete-instance side by
 //!   side.
+//! * [`leakage`] / [`audit`] — the declared leakage profiles of
+//!   Theorem 2, and a [`LeakageAuditor`] that re-derives the observable
+//!   access pattern from an instrumented run's trace transcript and
+//!   asserts it matches those profiles exactly.
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod cloud;
 mod config;
 mod dual;
@@ -61,6 +66,7 @@ mod state;
 mod system;
 mod user;
 
+pub use audit::{AuditReport, DeclaredLeakage, LeakageAuditor, LeakageViolation};
 pub use cloud::{malicious, CloudServer, WitnessStrategy};
 pub use config::SlicerConfig;
 pub use dual::DualSlicer;

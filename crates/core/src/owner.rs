@@ -13,9 +13,22 @@ use slicer_bignum::BigUint;
 use slicer_crypto::Prf;
 use slicer_mshash::MsetHash;
 use slicer_store::IndexLabel;
-use slicer_telemetry::TelemetryHandle;
+use slicer_telemetry::{Clock, MonotonicClock, TelemetryHandle};
 use slicer_trapdoor::Trapdoor;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The clock protocol-side timing should follow for a given telemetry
+/// context: the handle's own clock when live (so `BuildTiming` and
+/// `SearchProfile` walls are deterministic under a
+/// [`slicer_telemetry::LogicalClock`]), a fresh monotonic clock when
+/// disabled (real wall time, no `std::time` in protocol code).
+pub(crate) fn timing_clock(telemetry: &TelemetryHandle) -> Arc<dyn Clock> {
+    telemetry
+        .clock()
+        .unwrap_or_else(|| Arc::new(MonotonicClock::new()))
+}
 
 /// The data owner. Holds all secrets, the trapdoor/set-hash state and the
 /// running accumulator value.
@@ -38,6 +51,7 @@ pub struct DataOwner {
     accumulator: BigUint,
     built: bool,
     telemetry: TelemetryHandle,
+    clock: Arc<dyn Clock>,
 }
 
 /// Per-keyword output of the build/insert inner loop.
@@ -62,12 +76,15 @@ impl DataOwner {
             accumulator,
             built: false,
             telemetry: TelemetryHandle::disabled(),
+            clock: timing_clock(&TelemetryHandle::disabled()),
         }
     }
 
     /// Installs a telemetry context; build/insert spans and counters are
-    /// recorded through it. Disabled by default.
+    /// recorded through it, and `BuildTiming` follows its clock. Disabled
+    /// by default.
     pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.clock = timing_clock(&telemetry);
         self.telemetry = telemetry;
     }
 
@@ -165,8 +182,8 @@ impl DataOwner {
         // Telemetry stays out of process_keyword: the parallel path would
         // record in nondeterministic order. Spans wrap the two sequential
         // stages; counters flush once at merge time.
-        let span_index = self.telemetry.span("owner.build.index");
-        let index_start = std::time::Instant::now();
+        let mut span_index = self.telemetry.span("owner.build.index");
+        let index_start = self.clock.now_nanos();
         // Group record IDs by keyword encoding (DB(w)). An ordered map, so
         // builds iterate keywords in one reproducible order.
         let mut groups: BTreeMap<Vec<u8>, Vec<RecordId>> = BTreeMap::new();
@@ -193,10 +210,11 @@ impl DataOwner {
                 .collect()
         };
 
-        let index_time = index_start.elapsed();
+        let index_time = Duration::from_nanos(self.clock.now_nanos().saturating_sub(index_start));
+        span_index.attr("keywords", groups.len());
         drop(span_index);
-        let span_ads = self.telemetry.span("owner.build.ads");
-        let ads_start = std::time::Instant::now();
+        let mut span_ads = self.telemetry.span("owner.build.ads");
+        let ads_start = self.clock.now_nanos();
 
         // Merge: update T and S, derive primes, fold the accumulator.
         let mut entries = Vec::new();
@@ -221,6 +239,7 @@ impl DataOwner {
             entries.extend(out.entries);
         }
 
+        span_ads.attr("entries", entries.len());
         drop(span_ads);
         self.telemetry
             .count("owner.entries.emitted", entries.len() as u64);
@@ -235,7 +254,7 @@ impl DataOwner {
             accumulator: self.accumulator.clone(),
             timing: crate::messages::BuildTiming {
                 index: index_time,
-                ads: ads_start.elapsed(),
+                ads: Duration::from_nanos(self.clock.now_nanos().saturating_sub(ads_start)),
             },
         })
     }

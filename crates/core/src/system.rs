@@ -1,8 +1,10 @@
 //! End-to-end orchestration: the four-party workflow of Fig. 1.
 
+use crate::audit::DeclaredLeakage;
 use crate::cloud::CloudServer;
 use crate::config::SlicerConfig;
 use crate::error::SlicerError;
+use crate::leakage::{BuildLeakage, SearchLeakage};
 use crate::messages::Query;
 use crate::owner::DataOwner;
 use crate::profile::{PhaseStat, SearchProfile};
@@ -10,8 +12,9 @@ use crate::record::{Record, RecordId};
 use crate::user::DataUser;
 use slicer_chain::{Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt};
 use slicer_crypto::sha256;
-use slicer_telemetry::TelemetryHandle;
-use std::time::Instant;
+use slicer_telemetry::{Clock, Span, TelemetryHandle};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Outcome of a verified search.
 #[derive(Debug, Clone)]
@@ -30,6 +33,19 @@ pub struct SearchOutcome {
     pub paid_cloud: bool,
     /// Phase-by-phase latency and gas breakdown of this search.
     pub profile: SearchProfile,
+    /// Identity of this search's trace (the `protocol.search` root span's
+    /// [`slicer_telemetry::TraceId`]), or 0 when telemetry is disabled.
+    pub trace_id: u64,
+}
+
+/// Lowercase hex of `bytes` — tx hashes as span attributes.
+fn hex_bytes(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(2 + bytes.len() * 2);
+    out.push_str("0x");
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 /// One Slicer deployment: owner + cloud + user + verification contract,
@@ -50,6 +66,12 @@ pub struct SlicerInstance {
     contract: Address,
     request_counter: u64,
     telemetry: TelemetryHandle,
+    /// Drives `SearchProfile` walls: the telemetry clock when a live
+    /// handle is installed (deterministic under a `LogicalClock`), a
+    /// monotonic fallback otherwise. Keeps `std::time` out of the
+    /// protocol path.
+    clock: Arc<dyn Clock>,
+    declared: DeclaredLeakage,
 }
 
 impl SlicerInstance {
@@ -93,7 +115,7 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         telemetry: TelemetryHandle,
     ) -> Result<Self, SlicerError> {
-        let started = Instant::now();
+        let mut span = telemetry.span("phase.setup");
         let owner = DataOwner::new(config.clone(), seed);
         let cloud = CloudServer::new(config.clone(), owner.keys().trapdoor().public().clone());
         let user = owner.delegate();
@@ -115,8 +137,12 @@ impl SlicerInstance {
         let deployed = chain.deploy_contract(owner_addr, Box::new(contract), 0)?;
         chain.seal_block();
 
-        telemetry.observe_ns("phase.setup.ns", elapsed_ns(started));
         telemetry.count("phase.setup.gas", deployed.receipt.gas_used);
+        if span.is_recording() {
+            span.attr("gas.used", deployed.receipt.gas_used);
+            span.attr("tx.hash", hex_bytes(&deployed.receipt.tx_hash.0));
+        }
+        drop(span);
 
         let mut instance = SlicerInstance {
             owner,
@@ -128,6 +154,8 @@ impl SlicerInstance {
             contract: deployed.address,
             request_counter: 0,
             telemetry: TelemetryHandle::disabled(),
+            clock: crate::owner::timing_clock(&TelemetryHandle::disabled()),
+            declared: DeclaredLeakage::default(),
         };
         instance.set_telemetry(telemetry);
         Ok(instance)
@@ -139,12 +167,28 @@ impl SlicerInstance {
     }
 
     /// Installs a telemetry context into the instance and all three
-    /// parties.
+    /// parties. Phase timing follows the handle's clock so span durations
+    /// and [`SearchProfile`] walls share one timeline.
     pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
         self.owner.set_telemetry(telemetry.clone());
         self.cloud.set_telemetry(telemetry.clone());
         self.user.set_telemetry(telemetry.clone());
+        self.clock = crate::owner::timing_clock(&telemetry);
         self.telemetry = telemetry;
+    }
+
+    /// The leakage profiles this instance has declared so far: one
+    /// `L^build` per shipment, one `L^search` per search and the token
+    /// history behind `L^repeat`. Feed to
+    /// [`LeakageAuditor::verify`](crate::LeakageAuditor::verify) together
+    /// with the run's trace transcript.
+    pub fn declared_leakage(&self) -> &DeclaredLeakage {
+        &self.declared
+    }
+
+    /// Elapsed nanoseconds on the instance clock since `start_ns`.
+    fn elapsed(&self, start_ns: u64) -> Duration {
+        Duration::from_nanos(self.clock.now_nanos().saturating_sub(start_ns))
     }
 
     /// The verification contract's address.
@@ -182,13 +226,9 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db: &[(RecordId, u64)],
     ) -> Result<TxReceipt, SlicerError> {
-        let started = Instant::now();
+        let mut span = self.telemetry.span("phase.build");
         let out = self.owner.build(db)?;
-        self.cloud.ingest(&out)?;
-        self.user.sync_state(self.owner.state().user_view());
-        let receipt = self.publish_accumulator(chain)?;
-        self.record_build_phase(started, &receipt);
-        Ok(receipt)
+        self.deploy_shipment(chain, &mut span, &out)
     }
 
     /// Multi-attribute `Build`.
@@ -201,13 +241,9 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db: &[Record],
     ) -> Result<TxReceipt, SlicerError> {
-        let started = Instant::now();
+        let mut span = self.telemetry.span("phase.build");
         let out = self.owner.build_records(db)?;
-        self.cloud.ingest(&out)?;
-        self.user.sync_state(self.owner.state().user_view());
-        let receipt = self.publish_accumulator(chain)?;
-        self.record_build_phase(started, &receipt);
-        Ok(receipt)
+        self.deploy_shipment(chain, &mut span, &out)
     }
 
     /// Full forward-secure `Insert` flow. Returns the receipt of the
@@ -221,13 +257,9 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db_plus: &[(RecordId, u64)],
     ) -> Result<TxReceipt, SlicerError> {
-        let started = Instant::now();
+        let mut span = self.telemetry.span("phase.build");
         let out = self.owner.insert(db_plus)?;
-        self.cloud.ingest(&out)?;
-        self.user.sync_state(self.owner.state().user_view());
-        let receipt = self.publish_accumulator(chain)?;
-        self.record_build_phase(started, &receipt);
-        Ok(receipt)
+        self.deploy_shipment(chain, &mut span, &out)
     }
 
     /// Multi-attribute `Insert`.
@@ -240,21 +272,39 @@ impl SlicerInstance {
         chain: &mut Blockchain,
         db_plus: &[Record],
     ) -> Result<TxReceipt, SlicerError> {
-        let started = Instant::now();
+        let mut span = self.telemetry.span("phase.build");
         let out = self.owner.insert_records(db_plus)?;
-        self.cloud.ingest(&out)?;
-        self.user.sync_state(self.owner.state().user_view());
-        let receipt = self.publish_accumulator(chain)?;
-        self.record_build_phase(started, &receipt);
-        Ok(receipt)
+        self.deploy_shipment(chain, &mut span, &out)
     }
 
-    /// Records build/insert phase metrics (inserts fold into the Build
-    /// phase: both run Algorithm 1/2 + a digest update).
-    fn record_build_phase(&self, started: Instant, receipt: &TxReceipt) {
-        self.telemetry
-            .observe_ns("phase.build.ns", elapsed_ns(started));
+    /// Shared tail of every build/insert (inserts fold into the Build
+    /// phase: both run Algorithm 1/2 + a digest update): ship to the
+    /// cloud, refresh the user view, publish the digest, and record
+    /// exactly the `L^build` shape — sizes only — on the phase span and
+    /// in the declared-leakage ledger.
+    fn deploy_shipment(
+        &mut self,
+        chain: &mut Blockchain,
+        span: &mut Span,
+        out: &crate::messages::BuildOutput,
+    ) -> Result<TxReceipt, SlicerError> {
+        self.cloud.ingest(out)?;
+        self.user.sync_state(self.owner.state().user_view());
+        let leak =
+            BuildLeakage::of(out).map_err(|e| SlicerError::IndexCorruption(e.to_string()))?;
+        let receipt = self.publish_accumulator(chain)?;
         self.telemetry.count("phase.build.gas", receipt.gas_used);
+        if span.is_recording() {
+            span.attr("entries", leak.entries);
+            span.attr("label_bits", leak.label_bits);
+            span.attr("value_bits", leak.value_bits);
+            span.attr("primes", leak.primes);
+            span.attr("prime_bits", leak.prime_bits);
+            span.attr("gas.used", receipt.gas_used);
+            span.attr("tx.hash", hex_bytes(&receipt.tx_hash.0));
+        }
+        self.declared.builds.push(leak);
+        Ok(receipt)
     }
 
     /// The full verifiable-search workflow of Fig. 1:
@@ -291,11 +341,21 @@ impl SlicerInstance {
         payment: u128,
         tamper: impl FnOnce(crate::messages::CloudResponse) -> crate::messages::CloudResponse,
     ) -> Result<SearchOutcome, SlicerError> {
-        let token_start = Instant::now();
+        let mut root = self.telemetry.span("protocol.search");
+        let trace_id = root.ctx().map_or(0, |c| c.trace.0);
+
+        let mut token_span = self.telemetry.span("phase.token");
+        let token_start = self.clock.now_nanos();
         let tokens = self.user.tokens_for(query);
+        root.attr("tokens", tokens.len());
         if tokens.is_empty() {
             // Nothing indexed can match: `T` (trusted, owner-signed state)
             // has no entry, so the result is provably empty without paying.
+            // The cloud and chain observe nothing; the declared ledger
+            // records an empty access pattern so audits stay aligned.
+            self.declared
+                .searches
+                .push(SearchLeakage { tokens: Vec::new() });
             return Ok(SearchOutcome {
                 records: Vec::new(),
                 verified: true,
@@ -303,6 +363,7 @@ impl SlicerInstance {
                 verify_gas: 0,
                 paid_cloud: false,
                 profile: SearchProfile::default(),
+                trace_id,
             });
         }
 
@@ -327,16 +388,31 @@ impl SlicerInstance {
             payment,
             call.encode(),
         ))?;
-        let token_wall = token_start.elapsed();
+        let token_wall = self.elapsed(token_start);
+        if token_span.is_recording() {
+            token_span.attr("tokens", tokens.len());
+            token_span.attr("gas.used", req_receipt.gas_used);
+            token_span.attr("tx.hash", hex_bytes(&req_receipt.tx_hash.0));
+        }
+        drop(token_span);
 
         // 2. Cloud searches and proves (tokens travel via the chain in the
         //    real deployment; the cloud reads the same values here).
-        let search_start = Instant::now();
-        let response = tamper(self.cloud.respond(&tokens)?);
-        let search_wall = search_start.elapsed();
+        let mut search_span = self.telemetry.span("phase.search");
+        let search_start = self.clock.now_nanos();
+        let honest = self.cloud.respond(&tokens)?;
+        self.declared
+            .searches
+            .push(SearchLeakage::of(&honest.results));
+        self.declared.token_history.extend(tokens.iter().cloned());
+        let response = tamper(honest);
+        let search_wall = self.elapsed(search_start);
+        search_span.attr("results", response.results.len());
+        drop(search_span);
 
         // 3. Submit for verification and settlement.
-        let verify_start = Instant::now();
+        let mut verify_span = self.telemetry.span("phase.verify");
+        let verify_start = self.clock.now_nanos();
         let submit = SlicerCall::SubmitResult {
             request_id: rid,
             entries: response.entries.clone(),
@@ -344,21 +420,35 @@ impl SlicerInstance {
         let mut tx = Transaction::call(self.cloud_addr, self.contract, 0, submit.encode());
         tx.gas_limit = 100_000_000; // verification of large result sets
         let sub_receipt = chain.send_transaction(tx)?;
-        let verify_wall = verify_start.elapsed();
+        let verify_wall = self.elapsed(verify_start);
+        let verified = sub_receipt.status.is_success() && sub_receipt.output == [1];
+        if verify_span.is_recording() {
+            verify_span.attr("gas.used", sub_receipt.gas_used);
+            verify_span.attr("tx.hash", hex_bytes(&sub_receipt.tx_hash.0));
+            verify_span.attr("verified", verified);
+        }
+        drop(verify_span);
 
         // 4. Settle (seal the block carrying the payment) and decrypt
         //    whatever the cloud returned (worthless if unverified).
-        let settle_start = Instant::now();
+        let mut settle_span = self.telemetry.span("phase.settle");
+        let settle_start = self.clock.now_nanos();
         chain.seal_block();
-        let verified = sub_receipt.status.is_success() && sub_receipt.output == [1];
         let records = self.user.decrypt(&response.results)?;
-        let settle_wall = settle_start.elapsed();
+        let settle_wall = self.elapsed(settle_start);
 
         // Gas attribution: the request transaction is the Token phase; the
         // submit transaction splits into Verify (everything but the escrow
         // transfer) and Settle (the transfer). Search is off-chain. The
         // phase gas therefore sums exactly to request_gas + verify_gas.
         let settle_gas = sub_receipt.gas_breakdown.transfer;
+        let paid_cloud = verified && payment > 0;
+        if settle_span.is_recording() {
+            settle_span.attr("gas.used", settle_gas);
+            settle_span.attr("paid_cloud", paid_cloud);
+            settle_span.attr("records", records.len());
+        }
+        drop(settle_span);
         let mut gas = req_receipt.gas_breakdown.clone();
         gas.merge(&sub_receipt.gas_breakdown);
         let profile = SearchProfile {
@@ -380,19 +470,21 @@ impl SlicerInstance {
             },
             gas,
         };
+        // Phase latency histograms come from the phase spans themselves
+        // (`phase.<name>.ns`); only the gas counters are explicit.
         for (name, stat) in profile.phases() {
-            self.telemetry
-                .observe_ns(&format!("phase.{name}.ns"), stat.wall.as_nanos() as u64);
             self.telemetry.count(&format!("phase.{name}.gas"), stat.gas);
         }
+        drop(root);
 
         Ok(SearchOutcome {
             records,
             verified,
             request_gas: req_receipt.gas_used,
             verify_gas: sub_receipt.gas_used,
-            paid_cloud: verified && payment > 0,
+            paid_cloud,
             profile,
+            trace_id,
         })
     }
 }
@@ -501,11 +593,6 @@ impl SlicerSystem {
     pub fn chain_mut(&mut self) -> &mut Blockchain {
         &mut self.chain
     }
-}
-
-/// Elapsed wall time in nanoseconds, saturating on overflow.
-fn elapsed_ns(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

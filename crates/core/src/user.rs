@@ -54,7 +54,7 @@ impl DataUser {
     /// equality values) with no indexed records produce no token — their
     /// absence from `T` already proves an empty result to the user.
     pub fn tokens_for(&self, query: &Query) -> Vec<SearchToken> {
-        let _span = self.telemetry.span("user.tokens");
+        let mut span = self.telemetry.span("user.tokens");
         let tokens = make_tokens(
             self.keys.prf_g(),
             &self.states,
@@ -63,6 +63,7 @@ impl DataUser {
         );
         self.telemetry
             .count("user.tokens.generated", tokens.len() as u64);
+        span.attr("tokens", tokens.len());
         tokens
     }
 
@@ -76,6 +77,7 @@ impl DataUser {
     /// Returns [`SlicerError::MalformedResult`] if a ciphertext is
     /// malformed or does not decode to a record ID.
     pub fn decrypt(&self, results: &[SliceResult]) -> Result<Vec<RecordId>, SlicerError> {
+        let mut span = self.telemetry.span("user.decrypt");
         let mut out = Vec::new();
         for slice in results {
             for er in &slice.er {
@@ -89,6 +91,7 @@ impl DataUser {
                 out.push(RecordId(bytes));
             }
         }
+        span.attr("records", out.len());
         Ok(out)
     }
 

@@ -105,9 +105,13 @@ impl EncryptedIndex {
         &mut self,
         batch: impl IntoIterator<Item = (IndexLabel, Vec<u8>)>,
     ) -> Result<(), DuplicateLabelError> {
+        let mut span = slicer_telemetry::global::span("store.extend");
+        let mut count = 0u64;
         for (l, d) in batch {
             self.put(l, d)?;
+            count += 1;
         }
+        span.attr("entries", count);
         Ok(())
     }
 

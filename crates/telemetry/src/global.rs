@@ -67,6 +67,22 @@ pub fn gauge(name: &str, value: u64) {
     }
 }
 
+/// Opens a span on the global handle, if enabled; an inert guard
+/// otherwise. The span parents on the global handle's innermost open
+/// span, so leaf-crate work (chain transactions, witness batches) nests
+/// under the protocol phase that caused it when the orchestrator
+/// installed its own handle globally.
+pub fn span(name: &str) -> crate::Span {
+    if enabled() {
+        GLOBAL
+            .read()
+            .expect("global telemetry lock poisoned")
+            .span(name)
+    } else {
+        crate::Span::disabled()
+    }
+}
+
 /// Records `nanos` into histogram `name` on the global handle, if
 /// enabled.
 pub fn observe_ns(name: &str, nanos: u64) {
@@ -88,10 +104,19 @@ mod tests {
     fn facade_lifecycle() {
         assert!(!enabled());
         count("early", 1); // dropped: nothing installed
+        let inert = span("leaf.early");
+        assert!(!inert.is_recording());
+        drop(inert);
 
         let t = TelemetryHandle::enabled();
         set(t.clone());
         assert!(enabled());
+        {
+            let mut s = span("leaf.op");
+            assert!(s.is_recording());
+            s.attr("n", 1u64);
+        }
+        assert_eq!(t.snapshot().histogram("leaf.op.ns").unwrap().count, 1);
         count("leaf.hits", 2);
         count("leaf.hits", 3);
         gauge("leaf.size", 9);

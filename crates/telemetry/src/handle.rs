@@ -1,18 +1,28 @@
 //! The telemetry handle threaded through the protocol actors, and the
 //! span guard it hands out.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::export::Snapshot;
 use crate::metrics::Metrics;
 use crate::sink::{Event, NullSink, Sink};
+use crate::trace::{AttrValue, Attrs, SpanContext, SpanId, TraceId};
 
 #[derive(Debug)]
 struct Inner {
     metrics: Metrics,
     clock: Arc<dyn Clock>,
     sink: Arc<dyn Sink>,
+    /// Next trace/span id. Sequence-counter assignment (no wall clock,
+    /// no randomness) keeps same-seed transcripts byte-identical.
+    /// Starts at 1; id 0 means "no trace".
+    ids: AtomicU64,
+    /// Open spans, innermost last. New spans parent on the top entry,
+    /// which makes nesting implicit for LIFO scope guards without
+    /// growing every protocol signature by a context parameter.
+    stack: Mutex<Vec<SpanContext>>,
 }
 
 /// A cheaply clonable telemetry context: a [`Metrics`] registry plus the
@@ -21,7 +31,8 @@ struct Inner {
 /// The disabled handle is `None` behind the scenes, so a disabled
 /// recording is a single branch on a niche-optimized pointer — cheap
 /// enough to leave instrumentation unconditionally in protocol code.
-/// Clones share the same registry, clock and sink.
+/// Clones share the same registry, clock, sink, id sequence and span
+/// stack.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryHandle {
     inner: Option<Arc<Inner>>,
@@ -55,6 +66,8 @@ impl TelemetryHandle {
                 metrics: Metrics::new(),
                 clock,
                 sink,
+                ids: AtomicU64::new(1),
+                stack: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -98,17 +111,61 @@ impl TelemetryHandle {
         }
     }
 
-    /// Opens a span named `name`. When the returned guard drops, the
-    /// clock delta lands in histogram `name` and a [`Event::SpanEnd`]
-    /// goes to the sink. On a disabled handle the guard is inert.
+    /// Opens a span named `name`, parented on the innermost open span of
+    /// this handle (a root span of a fresh trace otherwise). Emits an
+    /// [`Event::SpanStart`]; when the returned guard drops, the clock
+    /// delta lands in histogram `{name}.ns` and an [`Event::SpanEnd`]
+    /// carrying the span's attributes goes to the sink.
+    ///
+    /// On a disabled handle the guard is inert and nothing — id, name,
+    /// attribute — is allocated.
     pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = self.inner.as_ref() else {
+            return Span::disabled();
+        };
+        let id = SpanId(inner.ids.fetch_add(1, Ordering::Relaxed));
+        let (ctx, parent) = {
+            let mut stack = inner.stack.lock().expect("span stack poisoned");
+            let parent = stack.last().copied();
+            let ctx = SpanContext {
+                trace: parent.map_or(TraceId(id.0), |p| p.trace),
+                span: id,
+            };
+            stack.push(ctx);
+            (ctx, parent)
+        };
+        let start_ns = inner.clock.now_nanos();
+        inner.sink.record(Event::SpanStart {
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: parent.map(|p| p.span),
+            name: name.to_string(),
+            start_ns,
+        });
         Span {
-            inner: self.inner.as_ref().map(|inner| SpanInner {
+            inner: Some(SpanInner {
                 handle: Arc::clone(inner),
                 name: name.to_string(),
-                start_ns: inner.clock.now_nanos(),
+                start_ns,
+                ctx,
+                parent: parent.map(|p| p.span),
+                attrs: Vec::new(),
             }),
         }
+    }
+
+    /// The innermost open span's context, if any.
+    pub fn current_span(&self) -> Option<SpanContext> {
+        let inner = self.inner.as_ref()?;
+        let stack = inner.stack.lock().expect("span stack poisoned");
+        stack.last().copied()
+    }
+
+    /// The handle's clock, for callers that want protocol-side timing on
+    /// the same timeline as the spans (and therefore deterministic under
+    /// a [`LogicalClock`](crate::LogicalClock)). `None` when disabled.
+    pub fn clock(&self) -> Option<Arc<dyn Clock>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.clock))
     }
 
     /// The current clock reading, or 0 on a disabled handle.
@@ -134,6 +191,9 @@ struct SpanInner {
     handle: Arc<Inner>,
     name: String,
     start_ns: u64,
+    ctx: SpanContext,
+    parent: Option<SpanId>,
+    attrs: Attrs,
 }
 
 /// Drop guard returned by [`TelemetryHandle::span`]. Records the elapsed
@@ -144,16 +204,59 @@ pub struct Span {
     inner: Option<SpanInner>,
 }
 
+impl Span {
+    /// An inert span, identical to one from a disabled handle.
+    pub(crate) const fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    /// Whether this span reaches a sink. Guard expensive attribute
+    /// construction (hex encoding, hashing) on this.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The span's trace/span identity, or `None` when inert.
+    pub fn ctx(&self) -> Option<SpanContext> {
+        self.inner.as_ref().map(|s| s.ctx)
+    }
+
+    /// Attaches a structured attribute, carried on the
+    /// [`Event::SpanEnd`]. No-op (and no allocation — conversion happens
+    /// inside the branch) on an inert span.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(s) = self.inner.as_mut() {
+            s.attrs.push((key, value.into()));
+        }
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(span) = self.inner.take() {
+        if let Some(mut span) = self.inner.take() {
             let end = span.handle.clock.now_nanos();
             let duration_ns = end.saturating_sub(span.start_ns);
-            span.handle.metrics.observe(&span.name, duration_ns);
+            let mut hist = String::with_capacity(span.name.len() + 3);
+            hist.push_str(&span.name);
+            hist.push_str(".ns");
+            span.handle.metrics.observe(&hist, duration_ns);
+            {
+                let mut stack = span.handle.stack.lock().expect("span stack poisoned");
+                // Remove our own entry (not blindly the top): a guard
+                // dropped out of LIFO order must not unwind someone
+                // else's parent context.
+                if let Some(pos) = stack.iter().rposition(|c| c.span == span.ctx.span) {
+                    stack.remove(pos);
+                }
+            }
             span.handle.sink.record(Event::SpanEnd {
-                name: span.name,
+                trace: span.ctx.trace,
+                span: span.ctx.span,
+                parent: span.parent,
+                name: std::mem::take(&mut span.name),
                 start_ns: span.start_ns,
                 duration_ns,
+                attrs: std::mem::take(&mut span.attrs),
             });
         }
     }
@@ -172,7 +275,13 @@ mod tests {
         t.count("a", 1);
         t.gauge("b", 2);
         t.observe_ns("c", 3);
-        drop(t.span("d"));
+        let mut s = t.span("d");
+        assert!(!s.is_recording());
+        assert_eq!(s.ctx(), None);
+        s.attr("k", 1u64);
+        drop(s);
+        assert_eq!(t.current_span(), None);
+        assert!(t.clock().is_none());
         assert_eq!(t.snapshot(), Snapshot::default());
         assert_eq!(t.counter_value("a"), None);
     }
@@ -181,21 +290,88 @@ mod tests {
     fn span_records_clock_delta() {
         let sink = Arc::new(MemorySink::new());
         let t = TelemetryHandle::with(Arc::new(LogicalClock::with_step(10)), sink.clone() as _);
-        drop(t.span("work"));
+        let mut s = t.span("work");
+        s.attr("items", 3u64);
+        drop(s);
         let snap = t.snapshot();
-        let h = snap.histogram("work").unwrap();
+        let h = snap.histogram("work.ns").unwrap();
         assert_eq!(h.count, 1);
         // LogicalClock: open reads 0, close reads 10 → duration 10.
         assert_eq!(h.sum, 10);
         let events = sink.events();
         assert_eq!(
             events,
-            vec![Event::SpanEnd {
-                name: "work".into(),
-                start_ns: 0,
-                duration_ns: 10,
-            }]
+            vec![
+                Event::SpanStart {
+                    trace: TraceId(1),
+                    span: SpanId(1),
+                    parent: None,
+                    name: "work".into(),
+                    start_ns: 0,
+                },
+                Event::SpanEnd {
+                    trace: TraceId(1),
+                    span: SpanId(1),
+                    parent: None,
+                    name: "work".into(),
+                    start_ns: 0,
+                    duration_ns: 10,
+                    attrs: vec![("items", AttrValue::U64(3))],
+                }
+            ]
         );
+    }
+
+    #[test]
+    fn spans_nest_and_ids_are_sequential() {
+        let sink = Arc::new(MemorySink::new());
+        let t = TelemetryHandle::with(Arc::new(LogicalClock::new()), sink.clone() as _);
+        let outer = t.span("outer");
+        let outer_ctx = outer.ctx().unwrap();
+        assert_eq!(outer_ctx.trace, TraceId(1));
+        assert_eq!(outer_ctx.span, SpanId(1));
+        assert_eq!(t.current_span(), Some(outer_ctx));
+        {
+            let inner = t.span("inner");
+            let inner_ctx = inner.ctx().unwrap();
+            assert_eq!(inner_ctx.trace, TraceId(1), "child shares the trace");
+            assert_eq!(inner_ctx.span, SpanId(2));
+            assert_eq!(t.current_span(), Some(inner_ctx));
+        }
+        assert_eq!(t.current_span(), Some(outer_ctx));
+        drop(outer);
+        // A fresh root starts a fresh trace named by its own span id.
+        let next = t.span("next");
+        assert_eq!(
+            next.ctx().unwrap(),
+            SpanContext {
+                trace: TraceId(3),
+                span: SpanId(3)
+            }
+        );
+        drop(next);
+        let parents: Vec<Option<SpanId>> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanEnd { parent, .. } => Some(*parent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(parents, vec![Some(SpanId(1)), None, None]);
+    }
+
+    #[test]
+    fn out_of_order_drop_unwinds_only_itself() {
+        let t = TelemetryHandle::enabled();
+        let a = t.span("a");
+        let b = t.span("b");
+        let a_ctx = a.ctx().unwrap();
+        drop(a); // dropped before its child closes
+        assert_eq!(t.current_span(), Some(b.ctx().unwrap()));
+        drop(b);
+        assert_eq!(t.current_span(), None);
+        assert_ne!(a_ctx.span, SpanId(0));
     }
 
     #[test]
@@ -211,12 +387,21 @@ mod tests {
     }
 
     #[test]
-    fn clones_share_one_registry() {
+    fn clones_share_one_registry_and_id_sequence() {
         let t = TelemetryHandle::enabled();
         let u = t.clone();
         t.count("shared", 1);
         u.count("shared", 1);
         assert_eq!(t.counter_value("shared"), Some(2));
+        let outer = t.span("outer");
+        let inner = u.span("inner");
+        assert_eq!(
+            inner.ctx().unwrap().trace,
+            outer.ctx().unwrap().trace,
+            "clones share the span stack, so nesting crosses clones"
+        );
+        drop(inner);
+        drop(outer);
     }
 
     #[test]
@@ -225,7 +410,8 @@ mod tests {
             let sink = Arc::new(MemorySink::new());
             let t = TelemetryHandle::with(Arc::new(LogicalClock::new()), sink.clone() as _);
             {
-                let _outer = t.span("outer");
+                let mut outer = t.span("outer");
+                outer.attr("round", 1u64);
                 drop(t.span("inner"));
                 t.count("steps", 1);
             }
@@ -234,5 +420,7 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(!a.is_empty());
+        assert!(a.contains("\"type\":\"span_start\""));
+        assert!(a.contains("\"attrs\":{\"round\":1}"));
     }
 }

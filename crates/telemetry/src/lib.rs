@@ -36,6 +36,12 @@
 //! * [`global`] — a process-wide default handle for leaf crates (SORE
 //!   tuple counts, index lookup hit rates, witness-cache hit rates) that
 //!   cannot reasonably thread a handle through their APIs.
+//! * Causal traces — every live span carries a [`SpanContext`]
+//!   ([`TraceId`] + [`SpanId`], sequence-counter assigned so same-seed
+//!   transcripts stay byte-identical) and parents implicitly on the
+//!   innermost open span; [`Span::attr`] attaches structured key/value
+//!   attributes, and [`chrome_trace`] renders a [`MemorySink`] event
+//!   stream as a `chrome://tracing` / Perfetto document.
 //!
 //! # Examples
 //!
@@ -63,9 +69,11 @@ mod handle;
 pub mod json;
 mod metrics;
 mod sink;
+mod trace;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use export::{HistogramSummary, Snapshot};
 pub use handle::{Span, TelemetryHandle};
 pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
 pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
+pub use trace::{chrome_trace, AttrValue, Attrs, SpanContext, SpanId, TraceId};

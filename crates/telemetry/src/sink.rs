@@ -12,19 +12,43 @@ use std::io::Write;
 use std::sync::Mutex;
 
 use crate::json;
+use crate::trace::{write_attrs_json, Attrs, SpanId, TraceId};
 
 /// One telemetry occurrence, in program order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
+    /// A span opened. Emitted before any child activity so sinks see
+    /// the causal tree in pre-order.
+    SpanStart {
+        /// The trace this span belongs to (root span id of the trace).
+        trace: TraceId,
+        /// This span's sequence-assigned identity.
+        span: SpanId,
+        /// The enclosing span at open time, if any.
+        parent: Option<SpanId>,
+        /// Span name, e.g. `"phase.search"`.
+        name: String,
+        /// Clock reading when the span opened.
+        start_ns: u64,
+    },
     /// A span closed: `name` ran from `start_ns` for `duration_ns`
     /// (both in the active [`Clock`](crate::Clock)'s timeline).
     SpanEnd {
+        /// The trace this span belongs to (root span id of the trace).
+        trace: TraceId,
+        /// This span's sequence-assigned identity.
+        span: SpanId,
+        /// The enclosing span at open time, if any.
+        parent: Option<SpanId>,
         /// Span name, e.g. `"owner.build"`.
         name: String,
         /// Clock reading when the span opened.
         start_ns: u64,
         /// Clock delta between open and close.
         duration_ns: u64,
+        /// Structured attributes accumulated via
+        /// [`Span::attr`](crate::Span::attr), in insertion order.
+        attrs: Attrs,
     },
     /// A counter was incremented by `delta`.
     Counter {
@@ -47,16 +71,43 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         match self {
+            Event::SpanStart {
+                trace,
+                span,
+                parent,
+                name,
+                start_ns,
+            } => {
+                s.push_str("{\"type\":\"span_start\",\"name\":");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(",\"trace\":{trace},\"span\":{span},\"parent\":"));
+                match parent {
+                    Some(p) => s.push_str(&p.to_string()),
+                    None => s.push_str("null"),
+                }
+                s.push_str(&format!(",\"start_ns\":{start_ns}}}"));
+            }
             Event::SpanEnd {
+                trace,
+                span,
+                parent,
                 name,
                 start_ns,
                 duration_ns,
+                attrs,
             } => {
                 s.push_str("{\"type\":\"span\",\"name\":");
                 json::write_string(&mut s, name);
+                s.push_str(&format!(",\"trace\":{trace},\"span\":{span},\"parent\":"));
+                match parent {
+                    Some(p) => s.push_str(&p.to_string()),
+                    None => s.push_str("null"),
+                }
                 s.push_str(&format!(
-                    ",\"start_ns\":{start_ns},\"duration_ns\":{duration_ns}}}"
+                    ",\"start_ns\":{start_ns},\"duration_ns\":{duration_ns},\"attrs\":"
                 ));
+                write_attrs_json(&mut s, attrs);
+                s.push('}');
             }
             Event::Counter { name, delta } => {
                 s.push_str("{\"type\":\"counter\",\"name\":");
@@ -192,13 +243,31 @@ mod tests {
     #[test]
     fn event_json_is_valid_and_escaped() {
         let e = Event::SpanEnd {
+            trace: TraceId(1),
+            span: SpanId(2),
+            parent: Some(SpanId(1)),
             name: "owner.\"build\"".into(),
             start_ns: 5,
             duration_ns: 10,
+            attrs: vec![("entries", crate::AttrValue::Str("a\"b".into()))],
         };
         let j = e.to_json();
         assert!(json::parse(&j).is_ok(), "invalid JSON: {j}");
         assert!(j.contains("\\\"build\\\""));
+        assert!(j.contains("\"trace\":1"));
+        assert!(j.contains("\"parent\":1"));
+        assert!(j.contains("a\\\"b"), "attr strings must be escaped: {j}");
+
+        let s = Event::SpanStart {
+            trace: TraceId(1),
+            span: SpanId(2),
+            parent: None,
+            name: "root".into(),
+            start_ns: 0,
+        };
+        let j = s.to_json();
+        assert!(json::parse(&j).is_ok(), "invalid JSON: {j}");
+        assert!(j.contains("\"parent\":null"));
     }
 
     #[test]
@@ -227,9 +296,13 @@ mod tests {
         let b = MemorySink::new();
         for s in [&a, &b] {
             s.record(Event::SpanEnd {
+                trace: TraceId(1),
+                span: SpanId(1),
+                parent: None,
                 name: "p".into(),
                 start_ns: 0,
                 duration_ns: 1,
+                attrs: Vec::new(),
             });
         }
         assert_eq!(a.transcript(), b.transcript());

@@ -1,0 +1,257 @@
+//! Causal trace model: trace/span identities, structured attributes and
+//! the Chrome trace-event exporter.
+//!
+//! Identity assignment is a per-handle sequence counter — no wall clock,
+//! no randomness — so two same-seed runs allocate identical IDs and a
+//! [`MemorySink`](crate::MemorySink) transcript (IDs, nesting and
+//! attributes included) is byte-identical across runs. A root span's
+//! trace id reuses its own span id, so a trace is named by the span that
+//! opened it.
+
+use crate::json;
+use crate::sink::Event;
+use std::fmt;
+
+/// Identity of one causal trace (one protocol request / deployment op).
+///
+/// Equal to the root span's [`SpanId`] value. Sequence-counter assigned;
+/// `TraceId(0)` is never allocated and means "no trace" (disabled
+/// telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identity of one span within a handle's event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The (trace, span) pair identifying where in the causal tree a span
+/// lives. Returned by [`Span::ctx`](crate::Span::ctx).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's own identity.
+    pub span: SpanId,
+}
+
+/// A structured attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// An unsigned integer (counts, sizes, gas, fingerprints).
+    U64(u64),
+    /// A short string (tx hashes, gas categories).
+    Str(String),
+    /// A boolean (verification outcomes).
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Appends the value as JSON to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            AttrValue::U64(v) => out.push_str(&v.to_string()),
+            AttrValue::Str(s) => json::write_string(out, s),
+            AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Ordered key/value attributes on a span. Keys are `'static` so the
+/// disabled path never allocates for them.
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// Appends `attrs` as a JSON object (`{"k":v,...}`) to `out`.
+pub(crate) fn write_attrs_json(out: &mut String, attrs: &Attrs) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_string(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// Nanoseconds → Chrome trace microseconds with sub-µs precision
+/// (`"12.345"`), using integer math only.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders `events` as a Chrome trace-event JSON document, loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Each [`Event::SpanEnd`] becomes one complete (`"ph":"X"`) event with
+/// the trace id as its track (`tid`) and the span/parent ids plus every
+/// structured attribute under `args`. Counter and gauge events carry no
+/// timestamps and are omitted. The output parses under the in-crate
+/// RFC 8259 validator ([`json::parse`]).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        let Event::SpanEnd {
+            trace,
+            span,
+            parent,
+            name,
+            start_ns,
+            duration_ns,
+            attrs,
+        } = event
+        else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        json::write_string(&mut out, name);
+        out.push_str(",\"cat\":\"slicer\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&micros(*start_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&micros(*duration_ns));
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&trace.to_string());
+        out.push_str(",\"args\":{\"span\":");
+        out.push_str(&span.to_string());
+        out.push_str(",\"parent\":");
+        match parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        for (k, v) in attrs {
+            out.push(',');
+            json::write_string(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_end(trace: u64, span: u64, parent: Option<u64>) -> Event {
+        Event::SpanEnd {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            name: "phase.token".into(),
+            start_ns: 1_500,
+            duration_ns: 2_250,
+            attrs: vec![
+                ("tokens", AttrValue::U64(8)),
+                ("tx.hash", AttrValue::Str("0x\"ab\"".into())),
+                ("verified", AttrValue::Bool(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let doc = chrome_trace(&[
+            sample_end(1, 2, Some(1)),
+            Event::Counter {
+                name: "x".into(),
+                delta: 1,
+            },
+            sample_end(1, 1, None),
+        ]);
+        json::parse(&doc).unwrap_or_else(|e| panic!("invalid chrome trace: {e}\n{doc}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1.500"));
+        assert!(doc.contains("\"dur\":2.250"));
+        assert!(doc.contains("\"parent\":1"));
+        assert!(doc.contains("\"parent\":null"));
+        assert!(doc.contains("\\\"ab\\\""), "attr strings must be escaped");
+    }
+
+    #[test]
+    fn chrome_trace_skips_counters_and_gauges() {
+        let doc = chrome_trace(&[
+            Event::Counter {
+                name: "hits".into(),
+                delta: 3,
+            },
+            Event::Gauge {
+                name: "size".into(),
+                value: 9,
+            },
+        ]);
+        assert_eq!(doc, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        json::parse(&doc).unwrap();
+    }
+
+    #[test]
+    fn micros_is_integer_math() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3u64), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(3u32), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(3usize), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+        assert_eq!(AttrValue::from("s"), AttrValue::Str("s".into()));
+    }
+}

@@ -1,0 +1,44 @@
+//! Guards the telemetry fast path: creating a span (trace ids, parent
+//! stack and all) through a *disabled* [`TelemetryHandle`] must stay an
+//! allocation-free null check, cheap enough to leave instrumented code on
+//! the hot paths of the protocol unconditionally.
+
+use slicer_telemetry::{MonotonicClock, NullSink, TelemetryHandle};
+use slicer_testkit::Bench;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn disabled_span_creation_is_nearly_free() {
+    let mut bench = Bench::new("telemetry.span").warmup_ms(50).measure_ms(200);
+
+    let disabled = TelemetryHandle::disabled();
+    let off = bench.run("disabled", || {
+        let mut span = disabled.span(black_box("bench.work"));
+        span.attr("tokens", black_box(3u64));
+        black_box(span.is_recording());
+    });
+
+    let live = TelemetryHandle::with(Arc::new(MonotonicClock::new()), Arc::new(NullSink));
+    let on = bench.run("enabled", || {
+        let mut span = live.span(black_box("bench.work"));
+        span.attr("tokens", black_box(3u64));
+        black_box(span.is_recording());
+    });
+
+    assert!(
+        off.mean <= on.mean,
+        "disabled span ({:?}) must not cost more than a recording span ({:?})",
+        off.mean,
+        on.mean
+    );
+    // Generous ceiling: the disabled path is a null check plus a Drop of
+    // an all-None struct — microseconds would mean an accidental
+    // allocation or lock sneaked in.
+    assert!(
+        off.mean < Duration::from_micros(2),
+        "disabled span costs {:?}, expected well under 2µs",
+        off.mean
+    );
+}

@@ -1,15 +1,19 @@
 //! A guided walkthrough of the whole protocol on a toy database, run under
 //! a live telemetry context: every phase of Fig. 1 (Setup, Build, Token,
 //! Search, Verify, Settle) is profiled for wall time and gas, the gas is
-//! attributed per [`slicer_chain::GasCategory`], and the whole registry is
+//! attributed per [`slicer_chain::GasCategory`], the causal trace is
+//! exported in Chrome trace-event format (load it at `chrome://tracing`
+//! or <https://ui.perfetto.dev>), the observable access pattern is audited
+//! against the declared leakage profiles, and the whole registry is
 //! exported as Prometheus text and JSON (self-validated before printing).
 //!
 //! ```text
 //! cargo run --release --example protocol_trace
 //! ```
 
-use slicer_core::{Query, RecordId, SearchOutcome, SlicerConfig, SlicerSystem};
-use slicer_telemetry::{global, TelemetryHandle};
+use slicer_core::{LeakageAuditor, Query, RecordId, SearchOutcome, SlicerConfig, SlicerSystem};
+use slicer_telemetry::{global, Event, MemorySink, MonotonicClock, TelemetryHandle};
+use std::sync::Arc;
 
 fn ms(ns: u64) -> String {
     format!("{:.3} ms", ns as f64 / 1e6)
@@ -17,9 +21,11 @@ fn ms(ns: u64) -> String {
 
 fn main() {
     // One enabled handle serves the whole run: the system's parties get it
-    // injected, and the global facade routes the leaf-crate counters (SORE
-    // tuples, index lookups, accumulator witnesses) into the same registry.
-    let telemetry = TelemetryHandle::enabled();
+    // injected, and the global facade routes the leaf-crate spans and
+    // counters (SORE tuples, index lookups, chain txs, accumulator
+    // witnesses) into the same registry and event stream.
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = TelemetryHandle::with(Arc::new(MonotonicClock::new()), sink.clone() as _);
     global::set(telemetry.clone());
 
     println!("── Setup + Build (Algorithms 1–2) ────────────────────────");
@@ -110,5 +116,59 @@ fn main() {
         json.len()
     );
     println!("TELEMETRY JSON OK");
+
+    // ── Causal trace: Chrome trace-event export, self-validated ────────
+    let events = sink.events();
+    let chrome = slicer_telemetry::chrome_trace(&events);
+    slicer_telemetry::json::parse(&chrome).expect("chrome trace is valid JSON");
+    let span_end = |want: &str| {
+        events.iter().find_map(|e| match e {
+            Event::SpanEnd {
+                span, parent, name, ..
+            } if name == want => Some((*span, *parent)),
+            _ => None,
+        })
+    };
+    // The six protocol phases must be present as *parent* spans: the four
+    // per-search phases hang off the protocol.search root, and the cloud's
+    // work in turn nests under phase.search.
+    let (search_root, _) = span_end("protocol.search").expect("search root span");
+    for child in [
+        "phase.token",
+        "phase.search",
+        "phase.verify",
+        "phase.settle",
+    ] {
+        let (_, parent) = span_end(child).expect("phase span recorded");
+        assert_eq!(
+            parent.map(|p| p.0),
+            Some(search_root.0),
+            "{child} must be a child of protocol.search"
+        );
+    }
+    for root in ["phase.setup", "phase.build"] {
+        let (_, parent) = span_end(root).expect("phase span recorded");
+        assert!(parent.is_none(), "{root} is a trace root");
+    }
+    let (search_phase, _) = span_end("phase.search").expect("search phase span");
+    let (_, respond_parent) = span_end("cloud.respond").expect("cloud.respond span");
+    assert_eq!(respond_parent.map(|p| p.0), Some(search_phase.0));
+    println!(
+        "\nChrome trace: {} bytes, {} events — open at chrome://tracing",
+        chrome.len(),
+        events.len()
+    );
+    println!("CHROME TRACE OK");
+
+    // ── Leakage audit: the trace reveals exactly Theorem 2's profiles ──
+    let auditor = LeakageAuditor::from_events(&events).expect("transcript parses");
+    let report = auditor
+        .verify(sys.instance().declared_leakage())
+        .expect("observed access pattern matches declared leakage");
+    println!(
+        "Leakage audit: {} build(s), {} search(es), {} token(s) ({} distinct)",
+        report.builds, report.searches, report.tokens, report.distinct_tokens
+    );
+    println!("LEAKAGE AUDIT OK");
     global::reset();
 }

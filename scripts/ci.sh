@@ -33,6 +33,18 @@ grep -q "TELEMETRY JSON OK" <<<"$trace_out" || {
   echo "telemetry smoke FAILED: JSON export did not validate" >&2
   exit 1
 }
+# The Chrome trace-event export round-trips through the in-crate RFC 8259
+# parser and the six protocol phases are verified as parent spans.
+grep -q "CHROME TRACE OK" <<<"$trace_out" || {
+  echo "telemetry smoke FAILED: Chrome trace export did not validate" >&2
+  exit 1
+}
+# The LeakageAuditor re-derives the access pattern from span attributes
+# and matches it against the declared Theorem 2 profiles.
+grep -q "LEAKAGE AUDIT OK" <<<"$trace_out" || {
+  echo "telemetry smoke FAILED: leakage audit did not pass" >&2
+  exit 1
+}
 echo "telemetry smoke OK"
 
 echo "CI OK"

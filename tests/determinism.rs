@@ -122,7 +122,7 @@ fn telemetry_does_not_perturb_the_transcript() {
 
     let plain = run_lifecycle(0xD5EED);
     let (with_telemetry, sink_a) = instrumented(0xD5EED);
-    let (again, sink_b) = instrumented(0xD5EED);
+    let (_again, sink_b) = instrumented(0xD5EED);
 
     assert_eq!(plain.chain().height(), with_telemetry.chain().height());
     for (block_p, block_t) in plain
@@ -145,9 +145,26 @@ fn telemetry_does_not_perturb_the_transcript() {
     );
 
     assert!(!sink_a.is_empty(), "spans and counters reached the sink");
+    let transcript = sink_a.transcript();
     assert_eq!(
-        sink_a.transcript(),
+        transcript,
         sink_b.transcript(),
         "same-seed telemetry transcripts must be byte-identical"
     );
+    // The byte-equality above covers span ids, parent links and attributes
+    // — but only if they are actually present. Pin the causal-trace
+    // surface so the assertion cannot go vacuous.
+    for needle in [
+        "\"type\":\"span_start\"",
+        "\"name\":\"protocol.search\"",
+        "\"name\":\"phase.build\"",
+        "\"trace\":",
+        "\"parent\":",
+        "\"token.fp\":",
+    ] {
+        assert!(
+            transcript.contains(needle),
+            "trace transcript lost its {needle} surface"
+        );
+    }
 }
