@@ -17,12 +17,16 @@
 use crate::params::RsaParams;
 use crate::witness::root_factor;
 use slicer_bignum::BigUint;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cached membership witnesses for a full prime list.
+///
+/// Keyed by a `BTreeMap` so iteration order (and therefore the update
+/// fold) is deterministic — the repo-wide transcript invariant bars
+/// `HashMap` from protocol state.
 #[derive(Debug, Clone, Default)]
 pub struct WitnessCache {
-    witnesses: HashMap<BigUint, BigUint>,
+    witnesses: BTreeMap<BigUint, BigUint>,
     /// How many primes of the canonical list have been incorporated.
     covered: usize,
 }
@@ -81,9 +85,8 @@ impl WitnessCache {
             None => params.generator().clone(),
         };
         // Existing witnesses absorb the whole batch product.
-        let batch: BigUint = crate::nonmembership::product_tree(new);
         for w in self.witnesses.values_mut() {
-            *w = params.powmod(w, &batch);
+            *w = params.powmod_product(w, new);
         }
         // New primes: witnesses rooted at the pre-batch accumulator.
         let fresh = root_factor(params, &old_ac, new);

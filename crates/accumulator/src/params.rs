@@ -150,6 +150,13 @@ impl RsaParams {
     pub fn powmod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         self.ctx().modpow(base, exp)
     }
+
+    /// `base^(∏ exps) mod n` with chunked exponent products — one window
+    /// pass per few dozen primes instead of one `powmod` each. This is the
+    /// inner loop of accumulation and the root-factor witness tree.
+    pub fn powmod_product(&self, base: &BigUint, exps: &[BigUint]) -> BigUint {
+        self.ctx().modpow_product(base, exps)
+    }
 }
 
 #[cfg(test)]

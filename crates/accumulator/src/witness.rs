@@ -16,6 +16,10 @@
 
 use crate::params::RsaParams;
 use slicer_bignum::BigUint;
+use slicer_par::Pool;
+
+/// Subtrees below this size are not worth fanning out to pool workers.
+const POOL_MIN_SUBTREE: usize = 64;
 
 /// Direct witness for `primes[target]`: folds every other prime into the
 /// exponent one at a time.
@@ -44,6 +48,21 @@ pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize)
 ///
 /// Panics if any target index is out of range or duplicated.
 pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) -> Vec<BigUint> {
+    witness_batch_pooled(params, primes, targets, &Pool::single())
+}
+
+/// [`witness_batch`] with the root-factor tree fanned out over a
+/// deterministic pool: identical output at any worker count.
+///
+/// # Panics
+///
+/// Panics if any target index is out of range or duplicated.
+pub fn witness_batch_pooled(
+    params: &RsaParams,
+    primes: &[BigUint],
+    targets: &[usize],
+    pool: &Pool,
+) -> Vec<BigUint> {
     if targets.is_empty() {
         return Vec::new();
     }
@@ -57,15 +76,16 @@ pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) 
         in_targets[t] = true;
     }
     // Fold the complement (all primes not being proven) once.
-    let mut base = params.generator().clone();
-    for (i, p) in primes.iter().enumerate() {
-        if !in_targets[i] {
-            base = params.powmod(&base, p);
-        }
-    }
+    let complement: Vec<BigUint> = primes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !in_targets[*i])
+        .map(|(_, p)| p.clone())
+        .collect();
+    let base = params.powmod_product(params.generator(), &complement);
     // Distribute the target primes over each other with a root-factor tree.
     let target_primes: Vec<BigUint> = targets.iter().map(|&t| primes[t].clone()).collect();
-    root_factor(params, &base, &target_primes)
+    root_factor_pooled(params, &base, &target_primes, pool)
 }
 
 /// Computes witnesses for every element of `primes` relative to the
@@ -81,19 +101,57 @@ pub fn root_factor(params: &RsaParams, base: &BigUint, primes: &[BigUint]) -> Ve
         _ => {
             let mid = primes.len() / 2;
             let (left, right) = primes.split_at(mid);
-            let mut base_right = base.clone();
-            for p in left {
-                base_right = params.powmod(&base_right, p);
-            }
-            let mut base_left = base.clone();
-            for p in right {
-                base_left = params.powmod(&base_left, p);
-            }
+            let base_right = params.powmod_product(base, left);
+            let base_left = params.powmod_product(base, right);
             let mut out = root_factor(params, &base_left, left);
             out.extend(root_factor(params, &base_right, right));
             out
         }
     }
+}
+
+/// [`root_factor`] with the independent subtrees below the first few split
+/// levels fanned out over a deterministic pool. The split arithmetic is
+/// identical to the sequential tree and results are joined in submission
+/// order, so the output is byte-equal at any worker count.
+pub fn root_factor_pooled(
+    params: &RsaParams,
+    base: &BigUint,
+    primes: &[BigUint],
+    pool: &Pool,
+) -> Vec<BigUint> {
+    if pool.workers() <= 1 || primes.len() < 2 * POOL_MIN_SUBTREE {
+        return root_factor(params, base, primes);
+    }
+    // Split sequentially (these top levels touch the whole prime set and
+    // cannot parallelize) until there is a left-to-right frontier of
+    // independent subtrees, then recurse into the subtrees concurrently.
+    let want = pool.workers() * 4;
+    let mut frontier: Vec<(BigUint, &[BigUint])> = vec![(base.clone(), primes)];
+    while frontier.len() < want
+        && frontier
+            .iter()
+            .any(|(_, s)| s.len() >= 2 * POOL_MIN_SUBTREE)
+    {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (b, s) in frontier {
+            if s.len() < 2 * POOL_MIN_SUBTREE {
+                next.push((b, s));
+                continue;
+            }
+            let mid = s.len() / 2;
+            let (left, right) = s.split_at(mid);
+            let base_right = params.powmod_product(&b, left);
+            let base_left = params.powmod_product(&b, right);
+            next.push((base_left, left));
+            next.push((base_right, right));
+        }
+        frontier = next;
+    }
+    pool.run(&frontier, |(b, s)| root_factor(params, b, s))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Verifies `witness^x ≡ ac (mod n)` — the smart contract's `VerifyMem`.
@@ -181,6 +239,49 @@ mod tests {
         let all = root_factor(&params, params.generator(), &ps);
         assert_eq!(all.len(), ps.len());
         for (w, p) in all.iter().zip(&ps) {
+            assert!(acc.verify(p, w));
+        }
+    }
+
+    #[test]
+    fn batch_witnesses_byte_equal_naive_fold() {
+        // The product-tree path (chunked exponent products + root-factor
+        // splits) must agree bit for bit with the one-prime-at-a-time fold
+        // on random sets and random target subsets.
+        use slicer_testkit::{prop_assert_eq, prop_check};
+        prop_check!(0x2011, 64, |g| {
+            let params = RsaParams::fixed_512();
+            let n = g.u64_in(2, 18) as usize;
+            let ps: Vec<BigUint> = (0..n)
+                .map(|i| hash_to_prime(&[g.u8(), i as u8, 0x77], 64))
+                .collect();
+            let mut targets: Vec<usize> = (0..n).filter(|_| g.u8() & 1 == 1).collect();
+            if targets.is_empty() {
+                targets.push(g.u64_in(0, n as u64 - 1) as usize);
+            }
+            let batch = witness_batch(&params, &ps, &targets);
+            for (w, &t) in batch.iter().zip(&targets) {
+                prop_assert_eq!(w.clone(), membership_witness(&params, &ps, t));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn pooled_tree_matches_sequential_at_every_pool_size() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(300);
+        let sequential = root_factor(&params, params.generator(), &ps);
+        for workers in [1usize, 2, 8] {
+            let pool = Pool::new(workers);
+            assert_eq!(
+                root_factor_pooled(&params, params.generator(), &ps, &pool),
+                sequential,
+                "pool size {workers}"
+            );
+        }
+        let acc = Accumulator::over(&params, &ps);
+        for (w, p) in sequential.iter().zip(&ps) {
             assert!(acc.verify(p, w));
         }
     }

@@ -37,6 +37,9 @@ pub const ALLOWED_ATTR_KEYS: &[&str] = &[
     "keywords",
     "tuples",
     "targets",
+    // Pool fan-out width (`par.map` spans) — a pure count of independent
+    // tasks, already revealed by the counts above.
+    "tasks",
     // Per-token access pattern (exactly L^search / L^repeat).
     "token.updates",
     "token.hits",

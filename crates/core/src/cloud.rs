@@ -9,6 +9,7 @@ use slicer_accumulator::{hash_to_prime, witness};
 use slicer_chain::VerifyEntry;
 use slicer_crypto::{sha256, Prf};
 use slicer_mshash::MsetHash;
+use slicer_par::Pool;
 use slicer_store::CloudState;
 use slicer_telemetry::TelemetryHandle;
 use slicer_trapdoor::{Trapdoor, TrapdoorPublic};
@@ -44,11 +45,13 @@ pub struct CloudServer {
     strategy: WitnessStrategy,
     witness_cache: slicer_accumulator::WitnessCache,
     telemetry: TelemetryHandle,
+    pool: Pool,
 }
 
 impl CloudServer {
     /// A fresh cloud bound to the owner's trapdoor public key.
     pub fn new(config: SlicerConfig, trapdoor_pk: TrapdoorPublic) -> Self {
+        let pool = Pool::new(config.workers);
         CloudServer {
             config,
             state: CloudState::new(),
@@ -56,6 +59,7 @@ impl CloudServer {
             strategy: WitnessStrategy::default(),
             witness_cache: slicer_accumulator::WitnessCache::default(),
             telemetry: TelemetryHandle::disabled(),
+            pool,
         }
     }
 
@@ -67,6 +71,7 @@ impl CloudServer {
         trapdoor_pk: TrapdoorPublic,
         state: CloudState,
     ) -> Self {
+        let pool = Pool::new(config.workers);
         CloudServer {
             config,
             state,
@@ -74,12 +79,14 @@ impl CloudServer {
             strategy: WitnessStrategy::default(),
             witness_cache: slicer_accumulator::WitnessCache::default(),
             telemetry: TelemetryHandle::disabled(),
+            pool,
         }
     }
 
     /// Installs a telemetry context; search/prove spans and index-lookup
     /// counters are recorded through it. Disabled by default.
     pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.pool.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
@@ -121,13 +128,17 @@ impl CloudServer {
         let mut t: Trapdoor = token.trapdoor.clone();
         for gen in (0..=token.updates).rev() {
             let t_bytes = t.to_bytes(width);
+            // One generation shares its trapdoor prefix: absorb it into
+            // the PRF midstates once, then walk counters.
+            let f1t = f1.stream(&t_bytes);
+            let f2t = f2.stream(&t_bytes);
             let mut c: u64 = 0;
             loop {
-                let label = f1.eval2(&t_bytes, &c.to_be_bytes());
+                let label = f1t.eval(&c.to_be_bytes());
                 match self.state.index.get(&label) {
                     None => break,
                     Some(d) => {
-                        let pad = f2.eval2(&t_bytes, &c.to_be_bytes());
+                        let pad = f2t.eval(&c.to_be_bytes());
                         let r: Vec<u8> = d.iter().zip(pad.iter()).map(|(x, p)| x ^ p).collect();
                         er.push(r);
                         c += 1;
@@ -193,7 +204,10 @@ impl CloudServer {
     /// corruption.
     pub fn prove(&mut self, results: &[SliceResult]) -> Result<Vec<Vec<u8>>, SlicerError> {
         let mut span = self.telemetry.span("cloud.prove");
-        let xs: Vec<slicer_bignum::BigUint> = results.iter().map(|r| self.prime_for(r)).collect();
+        // Per-result prime derivation (set hash + H_prime) is independent:
+        // fan it out over the pool. prime_for emits no telemetry, so the
+        // transcript stays worker-count independent.
+        let xs: Vec<slicer_bignum::BigUint> = self.pool.run(results, |r| self.prime_for(r));
         let targets: Vec<usize> = xs
             .iter()
             .map(|x| {
@@ -213,7 +227,12 @@ impl CloudServer {
                 // Duplicate targets (same keyword twice in a query) are
                 // impossible: tokens within one query address distinct
                 // keywords.
-                witness::witness_batch(params, self.state.primes.as_slice(), &targets)
+                witness::witness_batch_pooled(
+                    params,
+                    self.state.primes.as_slice(),
+                    &targets,
+                    &self.pool,
+                )
             }
             WitnessStrategy::Cached => {
                 // Bring the cache up to date with any primes ingested

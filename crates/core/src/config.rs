@@ -14,6 +14,11 @@ pub struct SlicerConfig {
     pub accumulator: RsaParams,
     /// Trapdoor-permutation modulus size when generating fresh keys.
     pub trapdoor_bits: u32,
+    /// Worker count for the deterministic fan-out pool (`slicer-par`).
+    /// Defaults to the `SLICER_THREADS` environment variable, else the
+    /// machine's parallelism capped at 8. Protocol outputs and telemetry
+    /// transcripts are byte-identical at any setting.
+    pub workers: usize,
 }
 
 impl SlicerConfig {
@@ -31,7 +36,16 @@ impl SlicerConfig {
             prime_bits: DEFAULT_PRIME_BITS,
             accumulator: RsaParams::fixed_512(),
             trapdoor_bits: 512,
+            workers: slicer_par::configured_workers(),
         }
+    }
+
+    /// Same configuration with an explicit pool size (overrides
+    /// `SLICER_THREADS`).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Fast 8-bit test configuration.
@@ -62,6 +76,12 @@ mod tests {
     fn max_value_matches_width() {
         assert_eq!(SlicerConfig::test_8bit().max_value(), 255);
         assert_eq!(SlicerConfig::with_bits(64).max_value(), u64::MAX);
+    }
+
+    #[test]
+    fn with_workers_overrides_and_clamps() {
+        assert_eq!(SlicerConfig::test_8bit().with_workers(3).workers, 3);
+        assert_eq!(SlicerConfig::test_8bit().with_workers(0).workers, 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use slicer_accumulator::hash_to_prime;
 use slicer_bignum::BigUint;
 use slicer_crypto::Prf;
 use slicer_mshash::MsetHash;
+use slicer_par::Pool;
 use slicer_store::IndexLabel;
 use slicer_telemetry::{Clock, MonotonicClock, TelemetryHandle};
 use slicer_trapdoor::Trapdoor;
@@ -52,6 +53,7 @@ pub struct DataOwner {
     built: bool,
     telemetry: TelemetryHandle,
     clock: Arc<dyn Clock>,
+    pool: Pool,
 }
 
 /// Per-keyword output of the build/insert inner loop.
@@ -69,6 +71,7 @@ impl DataOwner {
     pub fn new(config: SlicerConfig, seed: u64) -> Self {
         let keys = KeySet::from_seed(seed, config.trapdoor_bits);
         let accumulator = config.accumulator.generator().clone();
+        let pool = Pool::new(config.workers);
         DataOwner {
             config,
             keys,
@@ -77,6 +80,7 @@ impl DataOwner {
             built: false,
             telemetry: TelemetryHandle::disabled(),
             clock: timing_clock(&TelemetryHandle::disabled()),
+            pool,
         }
     }
 
@@ -85,6 +89,7 @@ impl DataOwner {
     /// by default.
     pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
         self.clock = timing_clock(&telemetry);
+        self.pool.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
@@ -201,14 +206,12 @@ impl DataOwner {
             }
         }
 
-        let outputs: Vec<KeywordOutput> = if groups.len() >= 64 {
-            self.process_keywords_parallel(&groups)
-        } else {
-            groups
-                .iter()
-                .map(|(w, ids)| self.process_keyword(w, ids))
-                .collect()
-        };
+        // Independent keyword groups fan out over the deterministic pool;
+        // ordered join keeps the output in keyword order.
+        let items: Vec<(&Vec<u8>, &Vec<RecordId>)> = groups.iter().collect();
+        let outputs: Vec<KeywordOutput> = self
+            .pool
+            .par_map(&items, |(w, ids)| self.process_keyword(w, ids));
 
         let index_time = Duration::from_nanos(self.clock.now_nanos().saturating_sub(index_start));
         span_index.attr("keywords", groups.len());
@@ -216,28 +219,43 @@ impl DataOwner {
         let mut span_ads = self.telemetry.span("owner.build.ads");
         let ads_start = self.clock.now_nanos();
 
-        // Merge: update T and S, derive primes, fold the accumulator.
-        let mut entries = Vec::new();
+        // Merge, stage 1 (parallel, read-only on the owner state): per
+        // keyword, absorb the ciphertext delta into the set hash and derive
+        // the prime representative.
+        let hashed: Vec<Result<(MsetHash, BigUint), SlicerError>> =
+            self.pool.par_map(&outputs, |out| {
+                let mut h = match &out.old_state_key {
+                    Some(old) => self.state.set_hashes.get(old).cloned().ok_or_else(|| {
+                        SlicerError::IndexCorruption("old state key missing from S".into())
+                    })?,
+                    None => MsetHash::empty(),
+                };
+                for enc in &out.hash_delta {
+                    h.insert(enc);
+                }
+                let mut material = out.state_key.clone();
+                material.extend_from_slice(&h.to_bytes());
+                Ok((h, hash_to_prime(&material, self.config.prime_bits)))
+            });
+
+        // Merge, stage 2 (sequential): update T and S, then fold every new
+        // prime into the accumulator with one chunked product pass.
+        let mut entries = Vec::with_capacity(outputs.iter().map(|o| o.entries.len()).sum());
         let mut primes = Vec::with_capacity(outputs.len());
-        for out in outputs {
-            let mut h = match &out.old_state_key {
-                Some(old) => self.state.set_hashes.remove(old).ok_or_else(|| {
-                    SlicerError::IndexCorruption("old state key missing from S".into())
-                })?,
-                None => MsetHash::empty(),
-            };
-            for enc in &out.hash_delta {
-                h.insert(enc);
+        for (out, res) in outputs.into_iter().zip(hashed) {
+            let (h, x) = res?;
+            if let Some(old) = &out.old_state_key {
+                self.state.set_hashes.remove(old);
             }
-            let mut material = out.state_key.clone();
-            material.extend_from_slice(&h.to_bytes());
-            let x = hash_to_prime(&material, self.config.prime_bits);
-            self.accumulator = self.config.accumulator.powmod(&self.accumulator, &x);
             primes.push(x);
             self.state.set_hashes.insert(out.state_key, h);
             self.state.trapdoors.insert(out.keyword, out.new_state);
             entries.extend(out.entries);
         }
+        self.accumulator = self
+            .config
+            .accumulator
+            .powmod_product(&self.accumulator, &primes);
 
         span_ads.attr("entries", entries.len());
         drop(span_ads);
@@ -281,18 +299,20 @@ impl DataOwner {
         };
 
         let t_bytes = trapdoor.to_bytes(width);
-        let f1 = Prf::new(&g1);
-        let f2 = Prf::new(&g2);
+        // The trapdoor prefix is fixed for the whole generation: absorb it
+        // into each PRF midstate once instead of re-hashing it per counter.
+        let f1 = Prf::new(&g1).stream(&t_bytes);
+        let f2 = Prf::new(&g2).stream(&t_bytes);
+        let fg = self.keys.prf_g().stream(&t_bytes);
         let mut entries = Vec::with_capacity(record_ids.len());
         let mut hash_delta = Vec::with_capacity(record_ids.len());
         for (c, rid) in record_ids.iter().enumerate() {
             let c_bytes = (c as u64).to_be_bytes();
-            let label: IndexLabel = f1.eval2(&t_bytes, &c_bytes);
-            let pad = f2.eval2(&t_bytes, &c_bytes);
+            let label: IndexLabel = f1.eval(&c_bytes);
+            let pad = f2.eval(&c_bytes);
             // Enc(K_R, R) with a nonce derived per (keyword, generation,
             // counter) — unique slots, so CTR nonces never repeat.
-            let nonce_material = [t_bytes.as_slice(), &c_bytes].concat();
-            let nonce = self.keys.prf_g().eval128(&nonce_material);
+            let nonce = fg.eval128(&c_bytes);
             let enc = self.keys.record_key().encrypt(rid.as_bytes(), &nonce);
             debug_assert_eq!(enc.len(), 32);
             let d: Vec<u8> = enc.iter().zip(pad.iter()).map(|(e, p)| e ^ p).collect();
@@ -313,37 +333,6 @@ impl DataOwner {
             new_state,
             hash_delta,
         }
-    }
-
-    /// Parallel keyword processing: chunks the (independent) keyword groups
-    /// across std's scoped threads. The chunking is deterministic and the
-    /// per-chunk outputs are reassembled in keyword order, so the result is
-    /// identical to the serial path.
-    fn process_keywords_parallel(
-        &self,
-        groups: &BTreeMap<Vec<u8>, Vec<RecordId>>,
-    ) -> Vec<KeywordOutput> {
-        let items: Vec<(&Vec<u8>, &Vec<RecordId>)> = groups.iter().collect();
-        // slicer-lint: allow(det.thread) — deterministic fan-out: fixed chunking, outputs merged in keyword order
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(items.len())
-            .max(1);
-        let chunk = items.len().div_ceil(threads).max(1);
-        let mut outputs: Vec<Vec<KeywordOutput>> = (0..threads).map(|_| Vec::new()).collect();
-        // slicer-lint: allow(det.thread) — scoped join: all chunks complete before the merge
-        std::thread::scope(|s| {
-            for (slot, part) in outputs.iter_mut().zip(items.chunks(chunk)) {
-                s.spawn(move || {
-                    *slot = part
-                        .iter()
-                        .map(|(w, ids)| self.process_keyword(w, ids))
-                        .collect();
-                });
-            }
-        });
-        outputs.into_iter().flatten().collect()
     }
 
     /// Initial trapdoor `t_0` for a fresh keyword, derived from the owner's

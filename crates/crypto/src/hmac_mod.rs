@@ -18,7 +18,10 @@ const BLOCK_SIZE: usize = 64;
 #[derive(Debug, Clone)]
 pub struct Hmac {
     inner: Sha256,
-    opad_key: [u8; BLOCK_SIZE],
+    /// Outer hash with the opad key block already compressed — cloning an
+    /// `Hmac` (the [`crate::Prf`] fast path) re-uses both key-pad
+    /// compressions instead of redoing them per evaluation.
+    outer: Sha256,
 }
 
 impl Hmac {
@@ -38,10 +41,9 @@ impl Hmac {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        Hmac {
-            inner,
-            opad_key: opad,
-        }
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Hmac { inner, outer }
     }
 
     /// Absorbs message data.
@@ -52,8 +54,7 @@ impl Hmac {
     /// Returns the 32-byte tag.
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }

@@ -49,7 +49,7 @@ pub use codec::{CodecError, Decode, Encode};
 pub use drbg::HmacDrbg;
 pub use error::CryptoError;
 pub use hmac_mod::{hmac_sha256, Hmac};
-pub use prf::Prf;
+pub use prf::{Prf, PrfStream};
 pub use rng::Rng;
 pub use sha256_mod::{sha256, Sha256};
 pub use symmetric::SymmetricKey;

@@ -1,6 +1,6 @@
 //! Keyed PRF façade used as `F` and `G` in the Slicer protocols.
 
-use crate::hmac_mod::hmac_sha256;
+use crate::hmac_mod::Hmac;
 
 /// A pseudo-random function keyed with an arbitrary byte string.
 ///
@@ -21,7 +21,10 @@ use crate::hmac_mod::hmac_sha256;
 /// ```
 #[derive(Clone)]
 pub struct Prf {
-    key: Vec<u8>,
+    /// HMAC prototype with both key-pad blocks pre-compressed; every
+    /// evaluation clones this midstate instead of re-running the key
+    /// schedule (two SHA-256 compressions saved per call).
+    proto: Hmac,
 }
 
 impl std::fmt::Debug for Prf {
@@ -33,12 +36,16 @@ impl std::fmt::Debug for Prf {
 impl Prf {
     /// Creates a PRF keyed with `key`.
     pub fn new(key: &[u8]) -> Self {
-        Prf { key: key.to_vec() }
+        Prf {
+            proto: Hmac::new(key),
+        }
     }
 
     /// Evaluates the PRF on `input`, returning 32 bytes.
     pub fn eval(&self, input: &[u8]) -> [u8; 32] {
-        hmac_sha256(&self.key, input)
+        let mut mac = self.proto.clone();
+        mac.update(input);
+        mac.finalize()
     }
 
     /// Evaluates the PRF truncated to 16 bytes (the paper's HMAC-128).
@@ -52,19 +59,59 @@ impl Prf {
     /// Domain-separated derivation `PRF(key, input ‖ tag)` — the
     /// `G(K, w‖1)` / `G(K, w‖2)` pattern of Algorithms 1–3.
     pub fn derive(&self, input: &[u8], tag: u8) -> [u8; 32] {
-        let mut buf = Vec::with_capacity(input.len() + 1);
-        buf.extend_from_slice(input);
-        buf.push(tag);
-        self.eval(&buf)
+        let mut mac = self.proto.clone();
+        mac.update(input);
+        mac.update(&[tag]);
+        mac.finalize()
     }
 
     /// Evaluates the PRF on the concatenation of two parts, mirroring the
     /// `F(G1, t ‖ c)` pattern without intermediate allocation at call sites.
     pub fn eval2(&self, a: &[u8], b: &[u8]) -> [u8; 32] {
-        let mut mac = crate::hmac_mod::Hmac::new(&self.key);
+        let mut mac = self.proto.clone();
         mac.update(a);
         mac.update(b);
         mac.finalize()
+    }
+
+    /// Pins a fixed input prefix: `F(K, prefix ‖ ·)`. The returned stream
+    /// has the prefix absorbed once, so evaluating many suffixes (the
+    /// `F(G1, t ‖ c)` loops over counters in Algorithms 1–4) skips
+    /// re-hashing the prefix every call.
+    pub fn stream(&self, prefix: &[u8]) -> PrfStream {
+        let mut mac = self.proto.clone();
+        mac.update(prefix);
+        PrfStream { mid: mac }
+    }
+}
+
+/// A [`Prf`] evaluation midstate with a fixed prefix already absorbed; see
+/// [`Prf::stream`]. Output is identical to `prf.eval2(prefix, suffix)`.
+#[derive(Clone)]
+pub struct PrfStream {
+    mid: Hmac,
+}
+
+impl std::fmt::Debug for PrfStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PrfStream(<keyed>)")
+    }
+}
+
+impl PrfStream {
+    /// Evaluates the PRF on `prefix ‖ suffix`, returning 32 bytes.
+    pub fn eval(&self, suffix: &[u8]) -> [u8; 32] {
+        let mut mac = self.mid.clone();
+        mac.update(suffix);
+        mac.finalize()
+    }
+
+    /// [`PrfStream::eval`] truncated to 16 bytes.
+    pub fn eval128(&self, suffix: &[u8]) -> [u8; 16] {
+        let full = self.eval(suffix);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
     }
 }
 
@@ -102,5 +149,20 @@ mod tests {
     fn debug_hides_key() {
         let p = Prf::new(b"secret");
         assert!(!format!("{p:?}").contains("secret"));
+    }
+
+    #[test]
+    fn stream_matches_eval2() {
+        let p = Prf::new(b"k");
+        // Prefix lengths straddling the 64-byte block boundary exercise
+        // every midstate-buffering case.
+        for plen in [0usize, 5, 63, 64, 65, 128, 130] {
+            let prefix = vec![0xA7u8; plen];
+            let s = p.stream(&prefix);
+            for suffix in [b"".as_slice(), b"c", b"counter-0001"] {
+                assert_eq!(s.eval(suffix), p.eval2(&prefix, suffix), "plen {plen}");
+                assert_eq!(s.eval128(suffix), p.eval2(&prefix, suffix)[..16]);
+            }
+        }
     }
 }

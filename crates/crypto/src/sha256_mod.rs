@@ -84,13 +84,19 @@ impl Sha256 {
     /// Finishes and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, then the 64-bit big-endian length.
-        self.update(&[0x80]);
-        while self.buffer_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, then the 64-bit big-endian length — written
+        // straight into the block buffer (no per-byte update calls).
+        let len = self.buffer_len;
+        self.buffer[len] = 0x80;
+        if len < 56 {
+            self.buffer[len + 1..56].fill(0);
+        } else {
+            // Length words don't fit: close this block, pad a fresh one.
+            self.buffer[len + 1..64].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer[..56].fill(0);
         }
-        // Manual absorb of the length (update would double-count total_len,
-        // but total_len is no longer read after this point).
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);
@@ -122,25 +128,36 @@ impl Sha256 {
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+
+        // One compression round with the working variables bound by name:
+        // unrolling eight at a time turns the textbook h←g←f←… rotation
+        // into static renaming, which the round-loop form keeps the
+        // optimizer from doing reliably.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident,
+             $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
+                let t1 = $h
+                    .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add(K[$i])
+                    .wrapping_add(w[$i]);
+                let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                    .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            };
+        }
+        let mut i = 0;
+        while i < 64 {
+            round!(a, b, c, d, e, f, g, h, i);
+            round!(h, a, b, c, d, e, f, g, i + 1);
+            round!(g, h, a, b, c, d, e, f, i + 2);
+            round!(f, g, h, a, b, c, d, e, i + 3);
+            round!(e, f, g, h, a, b, c, d, i + 4);
+            round!(d, e, f, g, h, a, b, c, i + 5);
+            round!(c, d, e, f, g, h, a, b, i + 6);
+            round!(b, c, d, e, f, g, h, a, i + 7);
+            i += 8;
         }
 
         self.state[0] = self.state[0].wrapping_add(a);

@@ -5,7 +5,7 @@
 //! | panic-freedom | `panic.unwrap` `panic.expect` `panic.panic`             | chain, core, sore, store, accumulator |
 //! |               | `panic.unreachable` `panic.assert` `panic.index`        | |
 //! | constant-time | `ct.secret_eq` `ct.early_exit`                          | crypto, bignum, sore |
-//! | determinism   | `det.hash_collection` `det.wall_clock` `det.thread`     | everything except telemetry |
+//! | determinism   | `det.hash_collection` `det.wall_clock` `det.thread`     | everything except telemetry; `det.thread` additionally exempts par |
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
 //! every family. Inline `// slicer-lint: allow(<rule>) — <reason>` pragmas
@@ -63,6 +63,10 @@ pub struct Policy {
     pub ct: bool,
     /// Determinism family.
     pub det: bool,
+    /// Whether `det.thread` applies. False only for the crates that *are*
+    /// the sanctioned threading abstraction — exempt by construction, not
+    /// by pragma.
+    pub thread: bool,
 }
 
 /// Crates whose non-test code must be panic-free: the protocol, settlement
@@ -73,6 +77,11 @@ const PANIC_FREE_CRATES: &[&str] = &["chain", "core", "sore", "store", "accumula
 /// Crates holding secret-dependent comparisons that must be constant-time.
 const CT_CRATES: &[&str] = &["crypto", "bignum", "sore"];
 
+/// Crates allowed to touch `std::thread`: only `slicer-par`, whose ordered
+/// join and caller-thread telemetry make its fan-out deterministic by
+/// construction. Everything else must go through its `Pool`.
+const SANCTIONED_THREAD_CRATES: &[&str] = &["par"];
+
 /// Derives the [`Policy`] for a workspace-relative path like
 /// `crates/chain/src/chain.rs`. Unknown layouts get determinism-only.
 pub fn policy_for(path: &str) -> Policy {
@@ -80,11 +89,13 @@ pub fn policy_for(path: &str) -> Policy {
         .strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("");
+    // The telemetry crate *is* the sanctioned Clock abstraction.
+    let det = krate != "telemetry";
     Policy {
         panic: PANIC_FREE_CRATES.contains(&krate),
         ct: CT_CRATES.contains(&krate),
-        // The telemetry crate *is* the sanctioned Clock/thread abstraction.
-        det: krate != "telemetry",
+        det,
+        thread: det && !SANCTIONED_THREAD_CRATES.contains(&krate),
     }
 }
 
@@ -305,8 +316,9 @@ fn scan_tokens(path: &str, toks: &[Tok], policy: Policy) -> Vec<Finding> {
                     );
                 }
                 "thread"
-                    if prev.is_some_and(|p| p.text == "::")
-                        || next.is_some_and(|n| n.text == "::") =>
+                    if policy.thread
+                        && (prev.is_some_and(|p| p.text == "::")
+                            || next.is_some_and(|n| n.text == "::")) =>
                 {
                     finding(
                         &mut out,
@@ -470,7 +482,8 @@ mod tests {
             Policy {
                 panic: true,
                 ct: false,
-                det: true
+                det: true,
+                thread: true
             }
         );
         assert_eq!(
@@ -478,11 +491,24 @@ mod tests {
             Policy {
                 panic: false,
                 ct: false,
-                det: false
+                det: false,
+                thread: false
             }
         );
         assert!(policy_for("crates/sore/src/tuple.rs").ct);
         assert!(policy_for("src/lib.rs").det);
+        assert!(policy_for("src/lib.rs").thread);
+    }
+
+    #[test]
+    fn par_is_thread_sanctioned_but_not_det_exempt() {
+        let policy = policy_for("crates/par/src/lib.rs");
+        assert!(!policy.thread, "par owns the sanctioned thread pool");
+        assert!(policy.det, "other det rules still apply to par");
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }";
+        assert!(rules_of("crates/par/src/lib.rs", src).is_empty());
+        let clocky = "fn f() -> std::time::Instant { std::time::Instant::now() }";
+        assert!(rules_of("crates/par/src/lib.rs", clocky).contains(&"det.wall_clock"));
     }
 
     #[test]

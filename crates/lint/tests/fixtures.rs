@@ -186,6 +186,37 @@ fn telemetry_crate_is_exempt_from_det() {
 }
 
 #[test]
+fn par_crate_threads_are_sanctioned_by_construction() {
+    // The deterministic pool is the one place std::thread is legal — no
+    // pragma involved, the policy itself exempts the crate.
+    let src = r#"
+fn fan_out() {
+    std::thread::scope(|s| {
+        s.spawn(|| 1u8);
+    });
+    let n = std::thread::available_parallelism();
+    let _ = n;
+}
+"#;
+    let findings = scan_in("par", src);
+    assert!(
+        findings.is_empty(),
+        "slicer-par owns the sanctioned pool: {findings:?}"
+    );
+
+    // The exemption is det.thread-only: the rest of the det family still
+    // applies inside crates/par.
+    let clocky = "fn f() {\n    let _t = std::time::Instant::now();\n}\n";
+    let findings = scan_in("par", clocky);
+    assert!(rules_of(&findings).contains(&"det.wall_clock"));
+
+    // And other crates remain barred from std::thread.
+    let elsewhere = "fn f() {\n    std::thread::spawn(|| 1u8);\n}\n";
+    let findings = scan_in("core", elsewhere);
+    assert!(rules_of(&findings).contains(&"det.thread"));
+}
+
+#[test]
 fn btreemap_passes_det() {
     let src = "use std::collections::BTreeMap;\nfn f() -> BTreeMap<u8, u8> { BTreeMap::new() }\n";
     let findings = scan_in("core", src);

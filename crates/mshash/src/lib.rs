@@ -35,7 +35,7 @@
 #![warn(missing_docs)]
 
 use slicer_bignum::{BigUint, MontgomeryCtx};
-use slicer_crypto::sha256;
+use slicer_crypto::Sha256;
 use std::sync::OnceLock;
 
 /// Hex encoding of the 1024-bit safe prime `q` defining `GF(q)`.
@@ -56,24 +56,43 @@ pub fn field_prime() -> &'static BigUint {
 
 /// Maps arbitrary bytes to a nonzero element of `GF(q)`.
 ///
-/// Expands the input with counter-separated SHA-256 blocks to 1152 bits
-/// (128 bits beyond the modulus, so the bias from the final reduction is
-/// negligible), then reduces mod `q`. Zero maps to one so every image is a
-/// unit.
+/// Hashes the input to a 32-byte seed, expands the seed with
+/// counter-separated SHA-256 blocks to 1152 bits (128 bits beyond the
+/// modulus, so the bias from the final reduction is negligible), then
+/// reduces mod `q`. Zero maps to one so every image is a unit.
+///
+/// The prehash keeps every expansion block a single compression — the
+/// counter input `counter ‖ seed` is 33 bytes regardless of `data` — and
+/// collision resistance composes: colliding images need either a seed
+/// collision or a collision inside the expansion.
 pub fn hash_to_field(data: &[u8]) -> BigUint {
-    let mut wide = Vec::with_capacity(5 * 32);
-    for counter in 0u8..5 {
-        let mut buf = Vec::with_capacity(1 + data.len());
-        buf.push(counter);
-        buf.extend_from_slice(data);
-        wide.extend_from_slice(&sha256(&buf));
-    }
-    let v = &BigUint::from_bytes_be(&wide) % field_prime();
+    let v = field().mul_wide(&BigUint::one(), &expand_wide(data));
     if v.is_zero() {
         BigUint::one()
     } else {
         v
     }
+}
+
+/// The 1152-bit seed-then-counter digest expansion feeding
+/// [`hash_to_field`], before field reduction: four and a half
+/// counter-separated digests of the seed (the fifth is truncated to its
+/// first 16 bytes). 1152 bits is exactly the 128-bit headroom the bias
+/// argument needs, and exactly the two-limbs-above-width operand shape
+/// the field context folds in a single extended CIOS pass.
+fn expand_wide(data: &[u8]) -> BigUint {
+    let seed = slicer_crypto::sha256(data);
+    let mut wide = [0u8; 144];
+    for counter in 0u8..5 {
+        let mut h = Sha256::new();
+        h.update(&[counter]);
+        h.update(&seed);
+        let d = h.finalize();
+        let at = counter as usize * 32;
+        let take = d.len().min(144 - at);
+        wide[at..at + take].copy_from_slice(&d[..take]);
+    }
+    BigUint::from_bytes_be(&wide)
 }
 
 /// A multiset hash value: an element of `GF(q)` with multiset semantics.
@@ -118,7 +137,15 @@ impl MsetHash {
 
     /// Adds one element to the multiset (`h ← h +_H H({data})`).
     pub fn insert(&mut self, data: &[u8]) {
-        self.value = field().mul(&self.value, &hash_to_field(data));
+        // One fused wide multiply: the digest expansion folds into the
+        // field and into the running product in the same CIOS passes.
+        // `hash_to_field` maps zero to one, and multiplying by one is the
+        // same as skipping, so the zero case only needs a guard here.
+        let wide = expand_wide(data);
+        let next = field().mul_wide(&self.value, &wide);
+        if !next.is_zero() || self.value.is_zero() {
+            self.value = next;
+        }
     }
 
     /// Adds `count` copies of an element using one field exponentiation.

@@ -13,11 +13,42 @@ cargo build --release --offline --workspace
 echo "==> slicer-lint --check (static-analysis ratchet)"
 cargo run -q --release --offline -p slicer-lint -- --check
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace --release
+echo "==> cargo test -q --offline (SLICER_THREADS=1)"
+SLICER_THREADS=1 cargo test -q --offline --workspace --release
+
+echo "==> cargo test -q --offline (SLICER_THREADS=4)"
+SLICER_THREADS=4 cargo test -q --offline --workspace --release
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> pool determinism (bench counters agree across SLICER_THREADS)"
+# The slicer-par contract: worker count is a throughput knob, never a
+# semantic one. Run the telemetry experiment single-threaded and
+# four-threaded and require the non-timing metrics (the "counters"
+# section of both bench transcripts) to agree byte-for-byte. Timing
+# histograms legitimately differ; everything the protocol counts must not.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+for threads in 1 4; do
+  mkdir -p "$bench_tmp/t$threads"
+  SLICER_THREADS=$threads cargo run -q --release --offline -p slicer-bench \
+    --bin repro -- --experiment telemetry --scale 0.01 --queries 2 \
+    --csv "$bench_tmp/t$threads" >/dev/null
+done
+for f in BENCH_build.json BENCH_search.json; do
+  sed -n '/"counters"/,/}/p' "$bench_tmp/t1/$f" >"$bench_tmp/c1"
+  sed -n '/"counters"/,/}/p' "$bench_tmp/t4/$f" >"$bench_tmp/c4"
+  if ! diff -u "$bench_tmp/c1" "$bench_tmp/c4"; then
+    echo "pool determinism FAILED: $f counters differ between SLICER_THREADS=1 and 4" >&2
+    exit 1
+  fi
+  grep -q '"counters"' "$bench_tmp/c1" || {
+    echo "pool determinism FAILED: no counters section extracted from $f" >&2
+    exit 1
+  }
+done
+echo "pool determinism OK"
 
 echo "==> telemetry smoke (protocol_trace phase profile + JSON export)"
 trace_out="$(cargo run -q --release --offline --example protocol_trace)"

@@ -100,6 +100,59 @@ fn different_seeds_diverge() {
 }
 
 #[test]
+fn pool_size_does_not_change_any_transcript() {
+    // The deterministic pool's contract: worker count is a pure throughput
+    // knob. Protocol artifacts (chain blocks, owner state, accumulator)
+    // AND the telemetry transcript must be byte-identical whether the
+    // fan-out runs inline, on two workers, or on eight.
+    use slicer_telemetry::{LogicalClock, MemorySink, TelemetryHandle};
+    use std::sync::Arc;
+
+    let run = |workers: usize| {
+        let sink = Arc::new(MemorySink::new());
+        let handle = TelemetryHandle::with(Arc::new(LogicalClock::default()), sink.clone() as _);
+        let cfg = SlicerConfig::test_8bit().with_workers(workers);
+        let mut sys = SlicerSystem::setup_with(cfg, 0xD5EED, handle);
+        sys.build(&db(24)).expect("in-domain build");
+        sys.insert(&[(RecordId::from_u64(500), 42), (RecordId::from_u64(501), 7)])
+            .expect("in-domain insert");
+        sys.search(&Query::less_than(100), 10).expect("search runs");
+        sys.search(&Query::equal(42), 10).expect("search runs");
+        let chain: Vec<Vec<u8>> = sys
+            .chain()
+            .blocks()
+            .iter()
+            .map(|b| to_bytes(b).expect("encodes"))
+            .collect();
+        let state = to_bytes(sys.instance().owner.state()).expect("encodes");
+        let acc = sys.instance().owner.accumulator().to_bytes_be();
+        (chain, state, acc, sink.transcript())
+    };
+
+    let base = run(1);
+    for workers in [2usize, 8] {
+        let got = run(workers);
+        assert_eq!(
+            base.0, got.0,
+            "chain transcript diverged at pool size {workers}"
+        );
+        assert_eq!(base.1, got.1, "owner state diverged at pool size {workers}");
+        assert_eq!(
+            base.2, got.2,
+            "accumulator digest diverged at pool size {workers}"
+        );
+        assert_eq!(
+            base.3, got.3,
+            "telemetry transcript diverged at pool size {workers}"
+        );
+    }
+    assert!(
+        base.3.contains("\"name\":\"par.map\""),
+        "the pool's own span must appear in the transcript it keeps stable"
+    );
+}
+
+#[test]
 fn telemetry_does_not_perturb_the_transcript() {
     // Telemetry enabled (logical clock + in-memory sink) must be purely
     // observational: the protocol transcript of a telemetry-enabled run is
