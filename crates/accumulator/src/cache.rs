@@ -18,6 +18,42 @@ use crate::params::RsaParams;
 use crate::witness::root_factor;
 use slicer_bignum::BigUint;
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a cache update finds the cache inconsistent with the
+/// canonical prime list — a truncated or corrupted (e.g. badly restored)
+/// cache. The caller degrades to a rebuild instead of panicking: a serving
+/// daemon must survive a poisoned cache read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The cache claims to cover more primes than the canonical list holds
+    /// (`primes[..covered]` would be out of bounds).
+    CoverageBeyondList {
+        /// Primes the cache claims to have incorporated.
+        covered: usize,
+        /// Length of the canonical list presented for the update.
+        list_len: usize,
+    },
+    /// A prime the cache claims to cover has no cached witness.
+    MissingWitness,
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::CoverageBeyondList { covered, list_len } => write!(
+                f,
+                "witness cache covers {covered} primes but the list holds only {list_len}"
+            ),
+            CacheError::MissingWitness => {
+                write!(f, "witness cache is missing a witness it claims to cover")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
 
 /// Cached membership witnesses for a full prime list.
 ///
@@ -70,16 +106,28 @@ impl WitnessCache {
     /// Incorporates the primes appended to `primes` since the last
     /// build/update (`primes[..self.covered()]` must be unchanged — the
     /// prime list is append-only in Slicer).
-    pub fn update(&mut self, params: &RsaParams, primes: &[BigUint]) {
-        let new = &primes[self.covered..];
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the cache is inconsistent with the
+    /// canonical list (covers more primes than exist, or lost a witness it
+    /// claims to hold) — e.g. after a truncated restore. The cache is left
+    /// unmodified; callers recover by rebuilding from empty.
+    pub fn update(&mut self, params: &RsaParams, primes: &[BigUint]) -> Result<(), CacheError> {
+        let Some(new) = primes.get(self.covered..) else {
+            return Err(CacheError::CoverageBeyondList {
+                covered: self.covered,
+                list_len: primes.len(),
+            });
+        };
         if new.is_empty() {
-            return;
+            return Ok(());
         }
         // Previous accumulator value: any cached witness raised to its own
         // prime, or the generator for an empty cache.
-        let old_ac = match primes[..self.covered].first() {
+        let old_ac = match primes.get(..self.covered).and_then(<[BigUint]>::first) {
             Some(p) => {
-                let w = &self.witnesses[p];
+                let w = self.witnesses.get(p).ok_or(CacheError::MissingWitness)?;
                 params.powmod(w, p)
             }
             None => params.generator().clone(),
@@ -94,6 +142,7 @@ impl WitnessCache {
             self.witnesses.insert(p.clone(), w);
         }
         self.covered = primes.len();
+        Ok(())
     }
 }
 
@@ -124,7 +173,7 @@ mod tests {
         let mut ps = primes(0..6);
         let mut cache = WitnessCache::build(&params, &ps);
         ps.extend(primes(6..11));
-        cache.update(&params, &ps);
+        cache.update(&params, &ps).expect("consistent cache");
 
         let rebuilt = WitnessCache::build(&params, &ps);
         let acc = Accumulator::over(&params, &ps);
@@ -140,11 +189,31 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(0..5);
         let mut cache = WitnessCache::default();
-        cache.update(&params, &ps);
+        cache.update(&params, &ps).expect("consistent cache");
         let acc = Accumulator::over(&params, &ps);
         for p in &ps {
             assert!(acc.verify(p, cache.get(p).expect("cached")));
         }
+    }
+
+    #[test]
+    fn truncated_list_reports_corruption() {
+        let params = RsaParams::fixed_512();
+        let ps = primes(0..8);
+        let mut cache = WitnessCache::build(&params, &ps);
+        // A restore that lost the tail of the prime list: the cache now
+        // claims to cover more primes than exist.
+        let err = cache.update(&params, &ps[..3]).expect_err("inconsistent");
+        assert_eq!(
+            err,
+            CacheError::CoverageBeyondList {
+                covered: 8,
+                list_len: 3
+            }
+        );
+        // The cache is untouched and still serves its original witnesses.
+        assert_eq!(cache.covered(), 8);
+        assert_eq!(cache.len(), 8);
     }
 
     #[test]
@@ -153,7 +222,7 @@ mod tests {
         let ps = primes(0..4);
         let mut cache = WitnessCache::build(&params, &ps);
         let before = cache.clone();
-        cache.update(&params, &ps);
+        cache.update(&params, &ps).expect("consistent cache");
         for p in &ps {
             assert_eq!(cache.get(p), before.get(p));
         }

@@ -49,7 +49,7 @@ mod params;
 pub mod witness;
 
 pub use acc::Accumulator;
-pub use cache::WitnessCache;
+pub use cache::{CacheError, WitnessCache};
 pub use hprime::{hash_to_prime, hash_to_prime_counted, DEFAULT_PRIME_BITS};
 pub use nonmembership::{nonmembership_witness, verify_nonmembership, NonMembershipWitness};
 pub use params::RsaParams;

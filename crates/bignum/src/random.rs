@@ -11,11 +11,10 @@ pub fn random_bits<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> BigUint {
     }
     let limbs = bits.div_ceil(64) as usize;
     let mut v: Vec<Limb> = (0..limbs).map(|_| rng.next_u64()).collect();
-    let top_bits = bits % 64;
-    if top_bits != 0 {
-        let mask = (1u64 << top_bits) - 1;
-        *v.last_mut().expect("limbs >= 1") &= mask;
-    }
+    // Branch-free top-limb mask: `bits % 64 == 0` maps to a zero shift,
+    // keeping the whole limb, so no secret-adjacent comparison is needed.
+    let mask = u64::MAX >> ((64 - bits % 64) % 64);
+    *v.last_mut().expect("limbs >= 1") &= mask;
     BigUint::from_limbs(v)
 }
 

@@ -159,13 +159,21 @@ impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
         match self.limbs.len().cmp(&other.limbs.len()) {
             Ordering::Equal => {
-                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-                    match a.cmp(b) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
-                    }
+                // Full-width scan with no early exit: walking least- to
+                // most-significant, the latest differing pair wins, so the
+                // loop's timing is independent of *where* the operands
+                // diverge (limb counts are public — they equal the bit
+                // length, which comparisons reveal anyway).
+                let mut gt = 0u64;
+                let mut lt = 0u64;
+                for (a, b) in self.limbs.iter().zip(other.limbs.iter()) {
+                    let a_gt = u64::from(a > b);
+                    let a_lt = u64::from(a < b);
+                    let same = 1 - (a_gt | a_lt);
+                    gt = a_gt | (gt & same);
+                    lt = a_lt | (lt & same);
                 }
-                Ordering::Equal
+                gt.cmp(&lt)
             }
             ord => ord,
         }

@@ -14,7 +14,7 @@ use crate::messages::Query;
 use crate::record::RecordId;
 use crate::system::{SearchOutcome, SlicerInstance};
 use slicer_chain::Blockchain;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A Slicer deployment with deletion and update support: two instances
 /// sharing one blockchain.
@@ -36,7 +36,11 @@ pub struct DualSlicer {
     deletes: SlicerInstance,
     chain: Blockchain,
     /// Live records: id → value (the owner knows his own plaintext data).
-    live: HashMap<RecordId, u64>,
+    /// Ordered so shipment and re-encryption order is identical across
+    /// runs — the delete/update path feeds insertions back through the
+    /// instances, and a `HashMap` here made those transcripts
+    /// nondeterministic.
+    live: BTreeMap<RecordId, u64>,
 }
 
 impl DualSlicer {
@@ -49,7 +53,7 @@ impl DualSlicer {
             inserts,
             deletes,
             chain,
-            live: HashMap::new(),
+            live: BTreeMap::new(),
         }
     }
 
@@ -117,7 +121,7 @@ impl DualSlicer {
         // Multiset difference: each delete-side occurrence cancels one
         // insert-side occurrence (updates re-insert the same ID, so counts
         // matter).
-        let mut counts: HashMap<RecordId, i64> = HashMap::new();
+        let mut counts: BTreeMap<RecordId, i64> = BTreeMap::new();
         for id in &ins.records {
             *counts.entry(*id).or_insert(0) += 1;
         }

@@ -84,6 +84,26 @@ impl DataOwner {
         }
     }
 
+    /// Reconstructs an owner from persisted state: keys are re-derived
+    /// from `seed` (the key schedule is fully deterministic), while `T`,
+    /// `S` and the running accumulator value come from the snapshot. The
+    /// owner resumes exactly where it left off — further inserts rotate
+    /// the restored trapdoors and fold into the restored accumulator.
+    pub fn restore(
+        config: SlicerConfig,
+        seed: u64,
+        state: OwnerState,
+        accumulator: BigUint,
+    ) -> Self {
+        let mut owner = DataOwner::new(config, seed);
+        owner.state = state;
+        owner.accumulator = accumulator;
+        // A snapshot is only ever taken after a build, so the restored
+        // owner routes further shipments through `insert`.
+        owner.built = true;
+        owner
+    }
+
     /// Installs a telemetry context; build/insert spans and counters are
     /// recorded through it, and `BuildTiming` follows its clock. Disabled
     /// by default.

@@ -161,6 +161,75 @@ impl SlicerInstance {
         Ok(instance)
     }
 
+    /// Rebuilds an instance from persisted owner and cloud snapshots on a
+    /// fresh chain: keys are re-derived from `seed`, the owner resumes
+    /// from its restored `T`/`S`/accumulator, the cloud serves the
+    /// restored index without any rebuild, and the restored digest is
+    /// republished on `chain` (the chain itself models an always-on
+    /// external party and is not part of the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain failures from the contract deployment and the
+    /// digest republication.
+    pub fn try_restore_with(
+        config: SlicerConfig,
+        seed: u64,
+        chain: &mut Blockchain,
+        telemetry: TelemetryHandle,
+        owner_state: crate::state::OwnerState,
+        accumulator: slicer_bignum::BigUint,
+        cloud_state: slicer_store::CloudState,
+    ) -> Result<Self, SlicerError> {
+        let mut span = telemetry.span("phase.restore");
+        let owner = DataOwner::restore(config.clone(), seed, owner_state, accumulator);
+        let cloud = CloudServer::from_state(
+            config.clone(),
+            owner.keys().trapdoor().public().clone(),
+            cloud_state,
+        );
+        let user = owner.delegate();
+
+        let addr = |tag: &str| {
+            let h = sha256(&[tag.as_bytes(), &seed.to_be_bytes()].concat());
+            Address(*h.first_chunk().unwrap_or(&[0u8; 20]))
+        };
+        let owner_addr = addr("owner");
+        let user_addr = addr("user");
+        let cloud_addr = addr("cloud");
+        chain.create_account(owner_addr, 10_000_000_000);
+        chain.create_account(user_addr, 10_000_000_000);
+        chain.create_account(cloud_addr, 10_000_000_000);
+
+        let contract =
+            SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
+        let deployed = chain.deploy_contract(owner_addr, Box::new(contract), 0)?;
+        chain.seal_block();
+        if span.is_recording() {
+            span.attr("gas.used", deployed.receipt.gas_used);
+        }
+        drop(span);
+
+        let mut instance = SlicerInstance {
+            owner,
+            cloud,
+            user,
+            owner_addr,
+            user_addr,
+            cloud_addr,
+            contract: deployed.address,
+            request_counter: 0,
+            telemetry: TelemetryHandle::disabled(),
+            clock: crate::owner::timing_clock(&TelemetryHandle::disabled()),
+            declared: DeclaredLeakage::default(),
+        };
+        instance.set_telemetry(telemetry);
+        // The on-chain digest must match the restored accumulator before
+        // any search verifies against it.
+        instance.publish_accumulator(chain)?;
+        Ok(instance)
+    }
+
     /// The instance's telemetry context.
     pub fn telemetry(&self) -> &TelemetryHandle {
         &self.telemetry

@@ -25,7 +25,7 @@
 //! # Ok::<(), slicer_crypto::codec::CodecError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::hash::Hash;
@@ -366,6 +366,50 @@ impl<K: Decode + Eq + Hash, V: Decode> Decode for HashMap<K, V> {
     }
 }
 
+impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Key order is already canonical; no sorting pass needed.
+        write_len(out, self.len());
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = reader.read_len()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(reader)?;
+            let v = V::decode(reader)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Encode> Encode for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = reader.read_len()?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(T::decode(reader)?);
+        }
+        Ok(set)
+    }
+}
+
 impl Encode for Duration {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_secs().encode(out);
@@ -471,6 +515,30 @@ mod tests {
         }
         assert_eq!(to_bytes(&m1).unwrap(), to_bytes(&m2).unwrap());
         roundtrip(m1);
+    }
+
+    #[test]
+    fn btree_collections_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), 1u64);
+        m.insert(String::from("b"), 2u64);
+        roundtrip(m);
+        let s: BTreeSet<u32> = [9, 3, 7].into_iter().collect();
+        roundtrip(s);
+        roundtrip(BTreeMap::<u64, u64>::new());
+    }
+
+    #[test]
+    fn btree_map_encodes_in_key_order() {
+        let mut fwd = BTreeMap::new();
+        let mut rev = BTreeMap::new();
+        for i in 0..16u8 {
+            fwd.insert(i, i);
+        }
+        for i in (0..16u8).rev() {
+            rev.insert(i, i);
+        }
+        assert_eq!(to_bytes(&fwd).unwrap(), to_bytes(&rev).unwrap());
     }
 
     #[test]

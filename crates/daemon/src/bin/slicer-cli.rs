@@ -1,0 +1,166 @@
+//! `slicer-cli` — command-line front-end for a running `slicerd`.
+//!
+//! ```text
+//! slicer-cli --connect <endpoint> ingest <id>:<value> [...]
+//! slicer-cli --connect <endpoint> search (eq|lt|gt) <value> [--payment <n>]
+//! slicer-cli --connect <endpoint> verify
+//! slicer-cli --connect <endpoint> stat
+//! slicer-cli --connect <endpoint> shutdown
+//! ```
+//!
+//! Exit status: 0 on success; 1 when a search is unverified or the chain
+//! fails verification; 2 on usage, transport or daemon errors.
+
+use slicer_core::Query;
+use slicer_daemon::{hex, DaemonClient, DaemonError, Endpoint};
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("slicer-cli: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage: slicer-cli --connect <endpoint> \
+                     (ingest <id>:<value>... | search (eq|lt|gt) <value> [--payment <n>] \
+                     | verify | stat | shutdown)";
+
+fn run(args: Vec<String>) -> Result<i32, DaemonError> {
+    let mut it = args.iter();
+    let mut connect = None;
+    let mut command = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let ep = it
+                    .next()
+                    .ok_or_else(|| DaemonError::Config("--connect needs a value".into()))?;
+                connect = Some(Endpoint::parse(ep)?);
+            }
+            "--help" | "-h" => return Err(DaemonError::Config(USAGE.into())),
+            _ => {
+                command = Some((arg.clone(), it.map(String::clone).collect::<Vec<_>>()));
+                break;
+            }
+        }
+    }
+    let endpoint = connect.ok_or_else(|| DaemonError::Config("--connect is required".into()))?;
+    let (name, rest) = command.ok_or_else(|| DaemonError::Config(USAGE.into()))?;
+    let mut client = DaemonClient::connect(&endpoint)?;
+    match name.as_str() {
+        "ingest" => ingest(&mut client, &rest),
+        "search" => search(&mut client, &rest),
+        "verify" => verify(&mut client),
+        "stat" => stat(&mut client),
+        "shutdown" => {
+            client.shutdown()?;
+            println!("shutdown acknowledged");
+            Ok(0)
+        }
+        other => Err(DaemonError::Config(format!(
+            "unknown command {other:?}; {USAGE}"
+        ))),
+    }
+}
+
+fn ingest(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    if rest.is_empty() {
+        return Err(DaemonError::Config(
+            "ingest wants at least one <id>:<value> pair".into(),
+        ));
+    }
+    let mut records = Vec::with_capacity(rest.len());
+    for pair in rest {
+        let (id, value) = pair.split_once(':').ok_or_else(|| {
+            DaemonError::Config(format!("bad record {pair:?}, want <id>:<value>"))
+        })?;
+        records.push((
+            parse_u64(id, "record id")?,
+            parse_u64(value, "record value")?,
+        ));
+    }
+    let (count, generation, digest) = client.ingest(records)?;
+    println!(
+        "ingested records={count} generation={generation} digest={}",
+        hex(&digest)
+    );
+    Ok(0)
+}
+
+fn search(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    let mut it = rest.iter();
+    let op = it
+        .next()
+        .ok_or_else(|| DaemonError::Config("search wants (eq|lt|gt) <value>".into()))?;
+    let value = parse_u64(
+        it.next()
+            .ok_or_else(|| DaemonError::Config("search wants a value".into()))?,
+        "search value",
+    )?;
+    let mut payment: u128 = 1_000;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--payment" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DaemonError::Config("--payment needs a value".into()))?;
+                payment = v
+                    .parse()
+                    .map_err(|_| DaemonError::Config(format!("bad --payment {v:?}")))?;
+            }
+            other => return Err(DaemonError::Config(format!("unknown search flag {other}"))),
+        }
+    }
+    let query = match op.as_str() {
+        "eq" => Query::equal(value),
+        "lt" => Query::less_than(value),
+        "gt" => Query::greater_than(value),
+        other => {
+            return Err(DaemonError::Config(format!(
+                "unknown operator {other:?}, want eq|lt|gt"
+            )))
+        }
+    };
+    let reply = client.search(query, payment)?;
+    let ids: Vec<String> = reply.ids.iter().map(u64::to_string).collect();
+    println!(
+        "verified={} records=[{}] paid_cloud={} request_gas={} verify_gas={} digest={}",
+        reply.verified,
+        ids.join(","),
+        reply.paid_cloud,
+        reply.request_gas,
+        reply.verify_gas,
+        hex(&reply.digest)
+    );
+    Ok(if reply.verified { 0 } else { 1 })
+}
+
+fn verify(client: &mut DaemonClient) -> Result<i32, DaemonError> {
+    let (chain_ok, height, digest) = client.verify()?;
+    println!(
+        "chain_ok={chain_ok} height={height} digest={}",
+        hex(&digest)
+    );
+    Ok(if chain_ok { 0 } else { 1 })
+}
+
+fn stat(client: &mut DaemonClient) -> Result<i32, DaemonError> {
+    let reply = client.stat()?;
+    println!(
+        "index_entries={} primes={} generation={} chain_height={} digest={}",
+        reply.index_entries,
+        reply.primes,
+        reply.generation,
+        reply.chain_height,
+        hex(&reply.digest)
+    );
+    Ok(0)
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, DaemonError> {
+    s.parse()
+        .map_err(|_| DaemonError::Config(format!("bad {what} {s:?}, want an integer")))
+}

@@ -1,0 +1,105 @@
+//! `slicerd` — the Slicer serving daemon.
+//!
+//! ```text
+//! slicerd --listen <endpoint> --data <dir> [--seed <n>] [--bits <n>] [--telemetry]
+//! ```
+//!
+//! Endpoints: `tcp://HOST:PORT`, `unix:///path/to.sock`, or a bare
+//! socket path. On boot the daemon restores the last sealed generation
+//! from `--data` (fresh setup if none), prints one `READY` line, then
+//! serves until a `shutdown` request.
+
+use slicer_daemon::{hex, Boot, Daemon, DaemonConfig, DaemonError, Endpoint};
+use slicer_telemetry::TelemetryHandle;
+use std::path::PathBuf;
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("slicerd: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Args {
+    listen: Endpoint,
+    data: PathBuf,
+    config: DaemonConfig,
+    telemetry: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, DaemonError> {
+    let mut listen = None;
+    let mut data = None;
+    let mut config = DaemonConfig::default();
+    let mut telemetry = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => listen = Some(Endpoint::parse(value(&mut it, "--listen")?)?),
+            "--data" => data = Some(PathBuf::from(value(&mut it, "--data")?)),
+            "--seed" => config.seed = parse_u64(value(&mut it, "--seed")?, "--seed")?,
+            "--bits" => {
+                let v = parse_u64(value(&mut it, "--bits")?, "--bits")?;
+                config.value_bits = u8::try_from(v)
+                    .map_err(|_| DaemonError::Config(format!("--bits out of range: {v}")))?;
+            }
+            "--telemetry" => telemetry = true,
+            "--help" | "-h" => {
+                return Err(DaemonError::Config(
+                    "usage: slicerd --listen <endpoint> --data <dir> \
+                     [--seed <n>] [--bits <n>] [--telemetry]"
+                        .into(),
+                ))
+            }
+            other => return Err(DaemonError::Config(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or_else(|| DaemonError::Config("--listen is required".into()))?,
+        data: data.ok_or_else(|| DaemonError::Config("--data is required".into()))?,
+        config,
+        telemetry,
+    })
+}
+
+fn value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<&'a String, DaemonError> {
+    it.next()
+        .ok_or_else(|| DaemonError::Config(format!("{flag} needs a value")))
+}
+
+fn parse_u64(s: &str, flag: &str) -> Result<u64, DaemonError> {
+    s.parse()
+        .map_err(|_| DaemonError::Config(format!("{flag} wants an integer, got {s:?}")))
+}
+
+fn run(raw: Vec<String>) -> Result<(), DaemonError> {
+    let args = parse_args(&raw)?;
+    let telemetry = if args.telemetry {
+        TelemetryHandle::enabled()
+    } else {
+        TelemetryHandle::disabled()
+    };
+    let mut daemon = Daemon::open(&args.data, args.config, telemetry)?;
+    let boot = match daemon.boot() {
+        Boot::Fresh => "fresh".to_string(),
+        Boot::Restored(generation) => format!("restored generation {generation}"),
+    };
+    let listener = args.listen.bind()?;
+    // The READY line is the machine-readable handshake the CLI smoke
+    // stage and the integration tests wait for.
+    println!(
+        "READY listen={} boot={} digest={}",
+        args.listen,
+        boot,
+        hex(&daemon.digest())
+    );
+    daemon.serve(&listener)?;
+    println!("slicerd: shutdown requested, exiting");
+    Ok(())
+}

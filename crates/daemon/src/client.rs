@@ -1,0 +1,183 @@
+//! A blocking client for the `slicerd` wire protocol.
+
+use crate::error::DaemonError;
+use crate::net::{Endpoint, Stream};
+use crate::proto::{read_message, write_message, Request, RequestBody, Response, ResponseBody};
+use slicer_core::Query;
+
+/// One connection to a running `slicerd`.
+///
+/// Each call sends one request frame and blocks for the response. The
+/// client owns a trace-id counter seeded from its process id, so spans
+/// from different CLI invocations land in distinct traces while every
+/// request within one invocation is correlatable.
+#[derive(Debug)]
+pub struct DaemonClient {
+    stream: Stream,
+    next_trace: u64,
+}
+
+impl DaemonClient {
+    /// Connects to a daemon at `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the connection fails.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, DaemonError> {
+        Ok(DaemonClient {
+            stream: endpoint.connect()?,
+            next_trace: u64::from(std::process::id()) << 20,
+        })
+    }
+
+    fn call(&mut self, body: RequestBody) -> Result<ResponseBody, DaemonError> {
+        self.next_trace = self.next_trace.wrapping_add(1);
+        let request = Request {
+            trace_id: self.next_trace,
+            body,
+        };
+        write_message(&mut self.stream, &request)?;
+        let response: Response = read_message(&mut self.stream)?
+            .ok_or_else(|| DaemonError::Io("daemon closed the connection".into()))?;
+        match response.body {
+            ResponseBody::Error(msg) => Err(DaemonError::Remote(msg)),
+            body => Ok(body),
+        }
+    }
+
+    /// Inserts `(record id, value)` pairs; the daemon commits a new
+    /// generation before replying.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn ingest(&mut self, records: Vec<(u64, u64)>) -> Result<(u64, u64, Vec<u8>), DaemonError> {
+        match self.call(RequestBody::Ingest { records })? {
+            ResponseBody::Ingested {
+                records,
+                generation,
+                digest,
+            } => Ok((records, generation, digest)),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Runs one verifiable search.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn search(&mut self, query: Query, payment: u128) -> Result<SearchReply, DaemonError> {
+        match self.call(RequestBody::Search { query, payment })? {
+            ResponseBody::Found {
+                ids,
+                verified,
+                paid_cloud,
+                request_gas,
+                verify_gas,
+                digest,
+            } => Ok(SearchReply {
+                ids,
+                verified,
+                paid_cloud,
+                request_gas,
+                verify_gas,
+                digest,
+            }),
+            other => Err(unexpected("Found", &other)),
+        }
+    }
+
+    /// Verifies the daemon's chain: `(chain_ok, height, digest)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn verify(&mut self) -> Result<(bool, u64, Vec<u8>), DaemonError> {
+        match self.call(RequestBody::Verify)? {
+            ResponseBody::Verified {
+                chain_ok,
+                height,
+                digest,
+            } => Ok((chain_ok, height, digest)),
+            other => Err(unexpected("Verified", &other)),
+        }
+    }
+
+    /// Fetches store/index statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn stat(&mut self) -> Result<StatReply, DaemonError> {
+        match self.call(RequestBody::Stat)? {
+            ResponseBody::Stats {
+                index_entries,
+                primes,
+                generation,
+                chain_height,
+                digest,
+            } => Ok(StatReply {
+                index_entries,
+                primes,
+                generation,
+                chain_height,
+                digest,
+            }),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to exit after acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Protocol`] on an unexpected
+    /// reply.
+    pub fn shutdown(&mut self) -> Result<(), DaemonError> {
+        match self.call(RequestBody::Shutdown)? {
+            ResponseBody::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &ResponseBody) -> DaemonError {
+    DaemonError::Protocol(format!("expected {want} response, got {got:?}"))
+}
+
+/// A [`DaemonClient::search`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReply {
+    /// Decrypted matching record ids.
+    pub ids: Vec<u64>,
+    /// Whether on-chain verification passed.
+    pub verified: bool,
+    /// Whether the escrowed fee settled to the cloud.
+    pub paid_cloud: bool,
+    /// Gas spent registering the request.
+    pub request_gas: u64,
+    /// Gas spent on submission + verification.
+    pub verify_gas: u64,
+    /// Canonical accumulator digest the proof verified against.
+    pub digest: Vec<u8>,
+}
+
+/// A [`DaemonClient::stat`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatReply {
+    /// Entries in the encrypted index `I`.
+    pub index_entries: u64,
+    /// Primes in the list `X`.
+    pub primes: u64,
+    /// Last sealed on-disk generation.
+    pub generation: u64,
+    /// Current chain height.
+    pub chain_height: u64,
+    /// Canonical accumulator digest.
+    pub digest: Vec<u8>,
+}

@@ -1,0 +1,62 @@
+//! The daemon error type.
+
+use slicer_persist::PersistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the daemon, its wire protocol and its client.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// A socket or filesystem failure.
+    Io(String),
+    /// A malformed frame, undecodable message or protocol violation
+    /// (oversized frame, mismatched trace id, unexpected response).
+    Protocol(String),
+    /// A segment-store failure while loading or committing state.
+    Persist(PersistError),
+    /// A protocol-level failure inside the Slicer instance.
+    Slicer(String),
+    /// Invalid configuration (bad endpoint string, out-of-range bits).
+    Config(String),
+    /// The daemon reported an error for a request.
+    Remote(String),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DaemonError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            DaemonError::Persist(e) => write!(f, "persistence error: {e}"),
+            DaemonError::Slicer(msg) => write!(f, "slicer error: {msg}"),
+            DaemonError::Config(msg) => write!(f, "config error: {msg}"),
+            DaemonError::Remote(msg) => write!(f, "daemon error: {msg}"),
+        }
+    }
+}
+
+impl Error for DaemonError {}
+
+impl From<PersistError> for DaemonError {
+    fn from(e: PersistError) -> Self {
+        DaemonError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e.to_string())
+    }
+}
+
+impl From<slicer_core::SlicerError> for DaemonError {
+    fn from(e: slicer_core::SlicerError) -> Self {
+        DaemonError::Slicer(e.to_string())
+    }
+}
+
+impl From<slicer_crypto::codec::CodecError> for DaemonError {
+    fn from(e: slicer_crypto::codec::CodecError) -> Self {
+        DaemonError::Protocol(e.to_string())
+    }
+}

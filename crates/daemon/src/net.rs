@@ -1,0 +1,189 @@
+//! Transport: TCP or Unix-domain endpoints behind one enum.
+//!
+//! Endpoint strings: `tcp://HOST:PORT`, `unix:///path/to.sock`, or a
+//! bare path (treated as a Unix socket path).
+
+use crate::error::DaemonError;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Where the daemon listens / the client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Config`] on an empty address.
+    pub fn parse(s: &str) -> Result<Self, DaemonError> {
+        let ep = if let Some(addr) = s.strip_prefix("tcp://") {
+            Endpoint::Tcp(addr.to_string())
+        } else if let Some(path) = s.strip_prefix("unix://") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        };
+        match &ep {
+            Endpoint::Tcp(a) if a.is_empty() => {
+                Err(DaemonError::Config("empty tcp address".into()))
+            }
+            Endpoint::Unix(p) if p.as_os_str().is_empty() => {
+                Err(DaemonError::Config("empty unix socket path".into()))
+            }
+            _ => Ok(ep),
+        }
+    }
+
+    /// Binds a listener on this endpoint. For Unix sockets a stale
+    /// socket file left by a killed daemon is removed first — exactly
+    /// the crash/restart path the persistence layer is built for.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the bind fails.
+    pub fn bind(&self) -> Result<Listener, DaemonError> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    /// Connects a client stream to this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the connection fails.
+    pub fn connect(&self) -> Result<Stream, DaemonError> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A bound listener over either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Accepts the next connection (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the accept fails.
+    pub fn accept(&self) -> Result<Stream, DaemonError> {
+        match self {
+            Listener::Tcp(l) => Ok(Stream::Tcp(l.accept()?.0)),
+            Listener::Unix(l) => Ok(Stream::Unix(l.accept()?.0)),
+        }
+    }
+}
+
+/// A connected stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_strings_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:7411").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7411".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///tmp/s.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/s.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/bare.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/bare.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp://h:1").unwrap().to_string(),
+            "tcp://h:1"
+        );
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(Endpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn unix_roundtrip_over_a_real_socket() {
+        let dir = std::env::temp_dir().join(format!("slicer-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = Endpoint::Unix(dir.join("echo.sock"));
+        let listener = ep.bind().unwrap();
+        // Rebinding over a stale socket file must succeed.
+        let listener2 = ep.bind().unwrap();
+        drop(listener);
+
+        let mut client = ep.connect().unwrap();
+        let mut server = listener2.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+}

@@ -1,0 +1,403 @@
+//! The framed wire protocol `slicerd` speaks.
+//!
+//! Every message travels as one frame: a 4-byte big-endian `u32` length
+//! prefix followed by exactly that many payload bytes, the payload being
+//! a [`slicer_crypto::codec`] encoding of [`Request`] or [`Response`].
+//! The length prefix is capped at [`MAX_FRAME_LEN`] so a corrupt or
+//! hostile peer cannot make the daemon allocate unbounded memory.
+//!
+//! Requests carry the client's trace id; the daemon opens its per-request
+//! telemetry root span *inside that trace* (via
+//! `TelemetryHandle::span_in_trace`), so one search initiated by
+//! `slicer-cli` produces a single distributed trace spanning both
+//! processes. A trace id of 0 means "no trace": the daemon mints a fresh
+//! one.
+
+use crate::error::DaemonError;
+use slicer_core::Query;
+use slicer_crypto::codec::{from_bytes, to_bytes, CodecError, Decode, Encode, Reader};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame's payload length. Large enough for any real
+/// response (an index chunk is a few MiB), small enough to bound the
+/// allocation a corrupt length prefix can trigger.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// A client request: the caller's trace id plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The client-side trace id (0 = none; the daemon mints one).
+    pub trace_id: u64,
+    /// The requested operation.
+    pub body: RequestBody,
+}
+
+slicer_crypto::impl_codec!(Request { trace_id, body });
+
+/// The operations `slicerd` serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Insert `(record id, value)` pairs and commit a new generation.
+    Ingest {
+        /// The records to insert.
+        records: Vec<(u64, u64)>,
+    },
+    /// Run one verifiable search, escrowing `payment` on the chain.
+    Search {
+        /// The numerical query.
+        query: Query,
+        /// The search fee the user escrows.
+        payment: u128,
+    },
+    /// Verify the daemon's chain and report the on-chain digest.
+    Verify,
+    /// Report store/index statistics.
+    Stat,
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Encode for RequestBody {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RequestBody::Ingest { records } => {
+                0u32.encode(out);
+                records.encode(out);
+            }
+            RequestBody::Search { query, payment } => {
+                1u32.encode(out);
+                query.encode(out);
+                payment.encode(out);
+            }
+            RequestBody::Verify => 2u32.encode(out),
+            RequestBody::Stat => 3u32.encode(out),
+            RequestBody::Shutdown => 4u32.encode(out),
+        }
+    }
+}
+
+impl Decode for RequestBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(RequestBody::Ingest {
+                records: Vec::decode(reader)?,
+            }),
+            1 => Ok(RequestBody::Search {
+                query: Query::decode(reader)?,
+                payment: u128::decode(reader)?,
+            }),
+            2 => Ok(RequestBody::Verify),
+            3 => Ok(RequestBody::Stat),
+            4 => Ok(RequestBody::Shutdown),
+            v => Err(CodecError::msg(format!("invalid RequestBody variant {v}"))),
+        }
+    }
+}
+
+/// The daemon's reply; echoes the request's trace id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The trace id the request carried (or the one the daemon minted).
+    pub trace_id: u64,
+    /// The operation's outcome.
+    pub body: ResponseBody,
+}
+
+slicer_crypto::impl_codec!(Response { trace_id, body });
+
+/// Outcomes of the operations in [`RequestBody`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// The operation failed; the daemon stays up.
+    Error(String),
+    /// Records ingested and a new generation sealed.
+    Ingested {
+        /// How many records the batch held.
+        records: u64,
+        /// The generation the commit sealed.
+        generation: u64,
+        /// Canonical accumulator digest after the insert.
+        digest: Vec<u8>,
+    },
+    /// A verifiable search completed.
+    Found {
+        /// Decrypted matching record ids.
+        ids: Vec<u64>,
+        /// Whether on-chain verification passed.
+        verified: bool,
+        /// Whether the escrowed fee settled to the cloud.
+        paid_cloud: bool,
+        /// Gas spent registering the request.
+        request_gas: u64,
+        /// Gas spent on submission + verification.
+        verify_gas: u64,
+        /// Canonical accumulator digest the proof verified against.
+        digest: Vec<u8>,
+    },
+    /// Chain verification report.
+    Verified {
+        /// Whether every block's hash chain checks out.
+        chain_ok: bool,
+        /// Current chain height.
+        height: u64,
+        /// Canonical accumulator digest.
+        digest: Vec<u8>,
+    },
+    /// Store and index statistics.
+    Stats {
+        /// Entries in the encrypted index `I`.
+        index_entries: u64,
+        /// Primes in the list `X`.
+        primes: u64,
+        /// Last sealed on-disk generation (0 = nothing persisted yet).
+        generation: u64,
+        /// Current chain height.
+        chain_height: u64,
+        /// Canonical accumulator digest.
+        digest: Vec<u8>,
+    },
+    /// The daemon acknowledges shutdown and will exit.
+    ShuttingDown,
+}
+
+impl Encode for ResponseBody {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ResponseBody::Error(msg) => {
+                0u32.encode(out);
+                msg.encode(out);
+            }
+            ResponseBody::Ingested {
+                records,
+                generation,
+                digest,
+            } => {
+                1u32.encode(out);
+                records.encode(out);
+                generation.encode(out);
+                digest.encode(out);
+            }
+            ResponseBody::Found {
+                ids,
+                verified,
+                paid_cloud,
+                request_gas,
+                verify_gas,
+                digest,
+            } => {
+                2u32.encode(out);
+                ids.encode(out);
+                verified.encode(out);
+                paid_cloud.encode(out);
+                request_gas.encode(out);
+                verify_gas.encode(out);
+                digest.encode(out);
+            }
+            ResponseBody::Verified {
+                chain_ok,
+                height,
+                digest,
+            } => {
+                3u32.encode(out);
+                chain_ok.encode(out);
+                height.encode(out);
+                digest.encode(out);
+            }
+            ResponseBody::Stats {
+                index_entries,
+                primes,
+                generation,
+                chain_height,
+                digest,
+            } => {
+                4u32.encode(out);
+                index_entries.encode(out);
+                primes.encode(out);
+                generation.encode(out);
+                chain_height.encode(out);
+                digest.encode(out);
+            }
+            ResponseBody::ShuttingDown => 5u32.encode(out),
+        }
+    }
+}
+
+impl Decode for ResponseBody {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u32::decode(reader)? {
+            0 => Ok(ResponseBody::Error(String::decode(reader)?)),
+            1 => Ok(ResponseBody::Ingested {
+                records: u64::decode(reader)?,
+                generation: u64::decode(reader)?,
+                digest: Vec::decode(reader)?,
+            }),
+            2 => Ok(ResponseBody::Found {
+                ids: Vec::decode(reader)?,
+                verified: bool::decode(reader)?,
+                paid_cloud: bool::decode(reader)?,
+                request_gas: u64::decode(reader)?,
+                verify_gas: u64::decode(reader)?,
+                digest: Vec::decode(reader)?,
+            }),
+            3 => Ok(ResponseBody::Verified {
+                chain_ok: bool::decode(reader)?,
+                height: u64::decode(reader)?,
+                digest: Vec::decode(reader)?,
+            }),
+            4 => Ok(ResponseBody::Stats {
+                index_entries: u64::decode(reader)?,
+                primes: u64::decode(reader)?,
+                generation: u64::decode(reader)?,
+                chain_height: u64::decode(reader)?,
+                digest: Vec::decode(reader)?,
+            }),
+            5 => Ok(ResponseBody::ShuttingDown),
+            v => Err(CodecError::msg(format!("invalid ResponseBody variant {v}"))),
+        }
+    }
+}
+
+/// Writes one length-prefixed message and flushes the stream.
+///
+/// # Errors
+///
+/// [`DaemonError::Protocol`] when the encoding exceeds [`MAX_FRAME_LEN`],
+/// [`DaemonError::Io`] on socket failure.
+pub fn write_message<T: Encode>(stream: &mut impl Write, message: &T) -> Result<(), DaemonError> {
+    let payload = to_bytes(message)?;
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|l| *l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            DaemonError::Protocol(format!(
+                "outgoing frame too large ({} bytes)",
+                payload.len()
+            ))
+        })?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed message. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// [`DaemonError::Protocol`] on an oversized frame or undecodable
+/// payload, [`DaemonError::Io`] on socket failure or mid-frame EOF.
+pub fn read_message<T: Decode>(stream: &mut impl Read) -> Result<Option<T>, DaemonError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while let Some(unfilled) = len_bytes.get_mut(filled..).filter(|s| !s.is_empty()) {
+        let n = stream.read(unfilled)?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(DaemonError::Io("eof inside frame length".into()));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(DaemonError::Protocol(format!(
+            "incoming frame too large ({len} bytes)"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(from_bytes(&payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &req).unwrap();
+        let mut cursor = wire.as_slice();
+        let back: Request = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_frame() {
+        roundtrip(Request {
+            trace_id: 7,
+            body: RequestBody::Ingest {
+                records: vec![(1, 10), (2, 20)],
+            },
+        });
+        roundtrip(Request {
+            trace_id: 0,
+            body: RequestBody::Search {
+                query: Query::less_than(42),
+                payment: 1_000,
+            },
+        });
+        roundtrip(Request {
+            trace_id: u64::MAX,
+            body: RequestBody::Shutdown,
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_frame() {
+        let resp = Response {
+            trace_id: 99,
+            body: ResponseBody::Found {
+                ids: vec![3, 1, 2],
+                verified: true,
+                paid_cloud: true,
+                request_gas: 11,
+                verify_gas: 22,
+                digest: vec![0xAB; 32],
+            },
+        };
+        let mut wire = Vec::new();
+        write_message(&mut wire, &resp).unwrap();
+        let back: Response = read_message(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_torn_frame_is_error() {
+        let empty: &[u8] = &[];
+        assert!(read_message::<Request>(&mut { empty }).unwrap().is_none());
+
+        let mut wire = Vec::new();
+        write_message(
+            &mut wire,
+            &Request {
+                trace_id: 1,
+                body: RequestBody::Stat,
+            },
+        )
+        .unwrap();
+        wire.truncate(wire.len() - 1);
+        let err = read_message::<Request>(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, DaemonError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let wire = u32::MAX.to_be_bytes();
+        let err = read_message::<Request>(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, DaemonError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn undecodable_payload_is_a_protocol_error() {
+        // A well-framed payload that is not a valid Request encoding.
+        let payload = [0xFFu8; 3];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&payload);
+        let err = read_message::<Request>(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, DaemonError::Protocol(_)), "{err}");
+    }
+}

@@ -1,0 +1,438 @@
+//! The `slicerd` daemon: one durable Slicer deployment behind a socket.
+//!
+//! Boot path: [`Daemon::open`] loads the last sealed generation from the
+//! [`SegmentStore`] and resumes via `SlicerInstance::try_restore_with` —
+//! no index rebuild, and the restored accumulator digest is asserted
+//! byte-identical to the snapshot's before a single request is served.
+//! With no sealed generation it performs a fresh paper-§IV setup.
+//!
+//! The daemon serves connections *sequentially* on the accept loop. This
+//! is deliberate, not a simplification: request handling mutates one
+//! `SlicerInstance` and one chain, the workspace's determinism lint
+//! (`det.thread`) bans ad-hoc threading outside `slicer-par`, and the
+//! instance already fans out CPU-bound witness work through the sanctioned
+//! pool internally.
+
+use crate::error::DaemonError;
+use crate::net::{Listener, Stream};
+use crate::proto::{read_message, write_message, Request, RequestBody, Response, ResponseBody};
+use slicer_chain::Blockchain;
+use slicer_core::{Query, RecordId, SlicerConfig, SlicerInstance};
+use slicer_persist::{SegmentStore, Snapshot};
+use slicer_telemetry::{TelemetryHandle, TraceId};
+use std::path::Path;
+
+/// Boot parameters for a daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Key-derivation seed for a *fresh* deployment. A restored daemon
+    /// uses the persisted seed — the on-disk state is authoritative.
+    pub seed: u64,
+    /// Value bit width `b` for a fresh deployment (1..=64); likewise
+    /// superseded by the persisted width on restore.
+    pub value_bits: u8,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            seed: 7,
+            value_bits: 16,
+        }
+    }
+}
+
+/// How the daemon came up: fresh setup or restored from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boot {
+    /// No sealed generation existed; a fresh setup ran.
+    Fresh,
+    /// State was restored from the given sealed generation.
+    Restored(u64),
+}
+
+/// One durable Slicer deployment: instance + chain + segment store.
+#[derive(Debug)]
+pub struct Daemon {
+    instance: SlicerInstance,
+    chain: Blockchain,
+    store: SegmentStore,
+    seed: u64,
+    generation: u64,
+    boot: Boot,
+    telemetry: TelemetryHandle,
+}
+
+impl Daemon {
+    /// Opens the segment store at `data_dir` and boots: restore the last
+    /// sealed generation if one exists (asserting the restored
+    /// accumulator digest byte-identical to the snapshot's), otherwise
+    /// run a fresh setup with `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Config`] on out-of-range `value_bits`,
+    /// [`DaemonError::Persist`] when the store directory is unusable or
+    /// holds only corrupt generations, [`DaemonError::Slicer`] when
+    /// setup/restore fails.
+    pub fn open(
+        data_dir: &Path,
+        config: DaemonConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self, DaemonError> {
+        if !(1..=64).contains(&config.value_bits) {
+            return Err(DaemonError::Config(format!(
+                "value_bits must be in 1..=64, got {}",
+                config.value_bits
+            )));
+        }
+        let store = SegmentStore::open(data_dir)?;
+        let mut chain = Blockchain::new();
+        let workers = slicer_par::configured_workers();
+
+        match store.load()? {
+            Some((generation, snapshot)) => {
+                let expected = snapshot.accumulator_digest();
+                let seed = snapshot.meta.seed;
+                let slicer_config = snapshot.meta.config_with_workers(workers);
+                let instance = SlicerInstance::try_restore_with(
+                    slicer_config,
+                    seed,
+                    &mut chain,
+                    telemetry.clone(),
+                    snapshot.owner,
+                    snapshot.accumulator,
+                    snapshot.cloud,
+                )?;
+                let daemon = Daemon {
+                    instance,
+                    chain,
+                    store,
+                    seed,
+                    generation,
+                    boot: Boot::Restored(generation),
+                    telemetry,
+                };
+                let restored = daemon.digest();
+                if restored != expected {
+                    return Err(DaemonError::Slicer(format!(
+                        "restored digest diverges from snapshot (generation {generation}): \
+                         {} != {}",
+                        hex(&restored),
+                        hex(&expected)
+                    )));
+                }
+                Ok(daemon)
+            }
+            None => {
+                let slicer_config =
+                    SlicerConfig::with_bits(config.value_bits).with_workers(workers);
+                let instance = SlicerInstance::try_setup_with(
+                    slicer_config,
+                    config.seed,
+                    &mut chain,
+                    telemetry.clone(),
+                )?;
+                Ok(Daemon {
+                    instance,
+                    chain,
+                    store,
+                    seed: config.seed,
+                    generation: 0,
+                    boot: Boot::Fresh,
+                    telemetry,
+                })
+            }
+        }
+    }
+
+    /// How this daemon booted.
+    pub fn boot(&self) -> Boot {
+        self.boot
+    }
+
+    /// The last sealed on-disk generation (0 = nothing persisted yet).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Canonical accumulator digest (big-endian, modulus-width padded) —
+    /// the bytes the chain holds and the crash/restart cycle compares.
+    pub fn digest(&self) -> Vec<u8> {
+        let width = self.instance.owner.config().accumulator.element_bytes();
+        self.instance.owner.accumulator().to_bytes_be_padded(width)
+    }
+
+    /// Handles one request, opening the per-request telemetry root span
+    /// inside the client's trace (a zero trace id mints a fresh trace).
+    /// Domain failures become [`ResponseBody::Error`]; the daemon
+    /// survives them.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        let mut span = self
+            .telemetry
+            .span_in_trace("daemon.request", TraceId(request.trace_id));
+        let trace_id = span.ctx().map_or(request.trace_id, |c| c.trace.0);
+        let body = match &request.body {
+            RequestBody::Ingest { records } => self.ingest(records),
+            RequestBody::Search { query, payment } => self.search(query, *payment),
+            RequestBody::Verify => self.verify(),
+            RequestBody::Stat => Ok(self.stat()),
+            RequestBody::Shutdown => Ok(ResponseBody::ShuttingDown),
+        }
+        .unwrap_or_else(|e| ResponseBody::Error(e.to_string()));
+        if span.is_recording() {
+            span.attr("outcome.error", matches!(body, ResponseBody::Error(_)));
+        }
+        Response { trace_id, body }
+    }
+
+    fn ingest(&mut self, records: &[(u64, u64)]) -> Result<ResponseBody, DaemonError> {
+        let batch: Vec<(RecordId, u64)> = records
+            .iter()
+            .map(|&(id, value)| (RecordId::from_u64(id), value))
+            .collect();
+        self.instance.insert(&mut self.chain, &batch)?;
+        let snapshot = Snapshot::capture(self.seed, &self.instance.owner, &self.instance.cloud);
+        self.generation = self.store.commit(&snapshot)?;
+        self.telemetry.count("daemon.commits", 1);
+        Ok(ResponseBody::Ingested {
+            records: batch.len() as u64,
+            generation: self.generation,
+            digest: snapshot.accumulator_digest(),
+        })
+    }
+
+    fn search(&mut self, query: &Query, payment: u128) -> Result<ResponseBody, DaemonError> {
+        let outcome = self.instance.search(&mut self.chain, query, payment)?;
+        Ok(ResponseBody::Found {
+            ids: outcome
+                .records
+                .iter()
+                .filter_map(RecordId::as_u64)
+                .collect(),
+            verified: outcome.verified,
+            paid_cloud: outcome.paid_cloud,
+            request_gas: outcome.request_gas,
+            verify_gas: outcome.verify_gas,
+            digest: self.digest(),
+        })
+    }
+
+    fn verify(&mut self) -> Result<ResponseBody, DaemonError> {
+        Ok(ResponseBody::Verified {
+            chain_ok: self.chain.verify_chain(),
+            height: self.chain.height(),
+            digest: self.digest(),
+        })
+    }
+
+    fn stat(&self) -> ResponseBody {
+        let storage = self.instance.cloud.storage();
+        ResponseBody::Stats {
+            index_entries: storage.index.len() as u64,
+            primes: storage.primes.len() as u64,
+            generation: self.generation,
+            chain_height: self.chain.height(),
+            digest: self.digest(),
+        }
+    }
+
+    /// Serves connections sequentially until a `Shutdown` request
+    /// arrives. A failed connection is logged and the loop continues —
+    /// one bad client never takes the daemon down.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when `accept` itself fails (the listener is
+    /// gone — nothing left to serve).
+    pub fn serve(&mut self, listener: &Listener) -> Result<(), DaemonError> {
+        loop {
+            let stream = listener.accept()?;
+            match self.serve_connection(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => eprintln!("slicerd: connection error: {e}"),
+            }
+        }
+    }
+
+    /// Serves one connection until the peer closes it. Returns `true`
+    /// when the peer requested shutdown.
+    fn serve_connection(&mut self, mut stream: Stream) -> Result<bool, DaemonError> {
+        loop {
+            let Some(request) = read_message::<Request>(&mut stream)? else {
+                return Ok(false);
+            };
+            let shutdown = matches!(request.body, RequestBody::Shutdown);
+            let response = self.handle(&request);
+            write_message(&mut stream, &response)?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+    }
+}
+
+/// Lowercase hex rendering for digests in error messages and logs.
+pub fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slicer-daemon-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg() -> DaemonConfig {
+        DaemonConfig {
+            seed: 11,
+            value_bits: 8,
+        }
+    }
+
+    #[test]
+    fn fresh_boot_serves_ingest_search_verify_stat() {
+        let dir = tmp("fresh");
+        let mut daemon = Daemon::open(&dir, cfg(), TelemetryHandle::disabled()).unwrap();
+        assert_eq!(daemon.boot(), Boot::Fresh);
+
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Ingest {
+                records: vec![(1, 10), (2, 20), (3, 30)],
+            },
+        });
+        let ResponseBody::Ingested {
+            records,
+            generation,
+            ..
+        } = resp.body
+        else {
+            panic!("want Ingested, got {:?}", resp.body);
+        };
+        assert_eq!(records, 3);
+        assert_eq!(generation, 1);
+
+        let resp = daemon.handle(&Request {
+            trace_id: 42,
+            body: RequestBody::Search {
+                query: Query::less_than(25),
+                payment: 1_000,
+            },
+        });
+        let ResponseBody::Found { ids, verified, .. } = resp.body else {
+            panic!("want Found, got {:?}", resp.body);
+        };
+        assert!(verified);
+        assert_eq!(ids, vec![1, 2]);
+
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Verify,
+        });
+        let ResponseBody::Verified {
+            chain_ok, height, ..
+        } = resp.body
+        else {
+            panic!("want Verified, got {:?}", resp.body);
+        };
+        assert!(chain_ok);
+        assert!(height > 0);
+
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Stat,
+        });
+        let ResponseBody::Stats {
+            index_entries,
+            primes,
+            ..
+        } = resp.body
+        else {
+            panic!("want Stats, got {:?}", resp.body);
+        };
+        // Each record contributes one slice label per covered keyword,
+        // so the encrypted index strictly dominates the record count.
+        assert!(index_entries >= 3, "got {index_entries}");
+        assert!(primes >= 3, "got {primes}");
+    }
+
+    #[test]
+    fn reopen_restores_identical_digest_without_rebuild() {
+        let dir = tmp("reopen");
+        let digest_before;
+        {
+            let mut daemon = Daemon::open(&dir, cfg(), TelemetryHandle::disabled()).unwrap();
+            daemon.handle(&Request {
+                trace_id: 0,
+                body: RequestBody::Ingest {
+                    records: vec![(7, 70), (8, 80)],
+                },
+            });
+            digest_before = daemon.digest();
+        } // dropped without any clean shutdown — like a crash after commit
+
+        let mut daemon = Daemon::open(&dir, cfg(), TelemetryHandle::disabled()).unwrap();
+        assert_eq!(daemon.boot(), Boot::Restored(1));
+        assert_eq!(
+            daemon.digest(),
+            digest_before,
+            "digest must be byte-identical"
+        );
+
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Search {
+                query: Query::greater_than(75),
+                payment: 500,
+            },
+        });
+        let ResponseBody::Found { ids, verified, .. } = resp.body else {
+            panic!("want Found, got {:?}", resp.body);
+        };
+        assert!(verified, "restored index must serve verifiable results");
+        assert_eq!(ids, vec![8]);
+    }
+
+    #[test]
+    fn domain_errors_become_error_responses_not_crashes() {
+        let dir = tmp("err");
+        let mut daemon = Daemon::open(&dir, cfg(), TelemetryHandle::disabled()).unwrap();
+        // Value 300 exceeds the 8-bit domain: the owner rejects it.
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Ingest {
+                records: vec![(1, 300)],
+            },
+        });
+        assert!(matches!(resp.body, ResponseBody::Error(_)));
+        // The daemon still serves afterwards.
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Stat,
+        });
+        assert!(matches!(resp.body, ResponseBody::Stats { .. }));
+    }
+
+    #[test]
+    fn bad_value_bits_is_a_config_error() {
+        let dir = tmp("bits");
+        let bad = DaemonConfig {
+            seed: 1,
+            value_bits: 0,
+        };
+        assert!(matches!(
+            Daemon::open(&dir, bad, TelemetryHandle::disabled()),
+            Err(DaemonError::Config(_))
+        ));
+    }
+}

@@ -72,7 +72,15 @@ pub struct Policy {
 /// Crates whose non-test code must be panic-free: the protocol, settlement
 /// and proof layers, where a panic is an availability attack on fair
 /// payment (Section IV-B of the paper), not a crash.
-const PANIC_FREE_CRATES: &[&str] = &["chain", "core", "sore", "store", "accumulator"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "chain",
+    "core",
+    "sore",
+    "store",
+    "accumulator",
+    "persist",
+    "daemon",
+];
 
 /// Crates holding secret-dependent comparisons that must be constant-time.
 const CT_CRATES: &[&str] = &["crypto", "bignum", "sore"];
@@ -498,6 +506,10 @@ mod tests {
         assert!(policy_for("crates/sore/src/tuple.rs").ct);
         assert!(policy_for("src/lib.rs").det);
         assert!(policy_for("src/lib.rs").thread);
+        // The durable store and the serving daemon must survive corrupt
+        // input without dying: both are panic-free layers.
+        assert!(policy_for("crates/persist/src/store.rs").panic);
+        assert!(policy_for("crates/daemon/src/lib.rs").panic);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Checksummed frame files: the unit every segment and manifest is
+//! stored in.
+//!
+//! A `.slc` file is the 8-byte magic followed by zero or more frames,
+//! each `[u64 LE payload length ‖ payload ‖ SHA-256(payload)]`. The
+//! per-frame checksum localizes torn writes: a segment truncated
+//! mid-frame or a single flipped payload bit fails validation on read,
+//! and the caller falls back to the previous sealed generation.
+
+use crate::error::PersistError;
+use slicer_crypto::sha256;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: identifies a Slicer segment file, version 1.
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"SLCSEG1\0";
+
+/// Serializes `frames` into one in-memory segment image.
+pub(crate) fn encode_frames(frames: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = frames.iter().map(|f| 8 + f.len() + 32).sum();
+    let mut buf = Vec::with_capacity(SEGMENT_MAGIC.len() + total);
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    for frame in frames {
+        buf.extend_from_slice(&(frame.len() as u64).to_le_bytes());
+        buf.extend_from_slice(frame);
+        buf.extend_from_slice(&sha256(frame));
+    }
+    buf
+}
+
+/// Writes `frames` to `path` (fsynced) and returns the SHA-256 of the
+/// whole file — the checksum the manifest records for the segment.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on any filesystem failure.
+pub(crate) fn write_frames(path: &Path, frames: &[Vec<u8>]) -> Result<[u8; 32], PersistError> {
+    let image = encode_frames(frames);
+    let mut file = fs::File::create(path).map_err(|e| PersistError::io(path, &e))?;
+    file.write_all(&image)
+        .map_err(|e| PersistError::io(path, &e))?;
+    file.sync_all().map_err(|e| PersistError::io(path, &e))?;
+    Ok(sha256(&image))
+}
+
+/// Splits `bytes` at `n` without panicking on short input.
+fn split_checked(bytes: &[u8], n: usize) -> Option<(&[u8], &[u8])> {
+    Some((bytes.get(..n)?, bytes.get(n..)?))
+}
+
+/// Reads and validates a frame file: magic, frame structure and every
+/// per-frame checksum. Returns the frames plus the whole-file SHA-256
+/// (for comparison against a manifest entry).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] when the file cannot be read and
+/// [`PersistError::Corrupt`] on any validation failure.
+pub(crate) fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, [u8; 32]), PersistError> {
+    let bytes = fs::read(path).map_err(|e| PersistError::io(path, &e))?;
+    let file_sum = sha256(&bytes);
+    let Some(mut cursor) = bytes.strip_prefix(SEGMENT_MAGIC.as_slice()) else {
+        return Err(PersistError::corrupt(path, "bad or missing magic header"));
+    };
+    let mut frames = Vec::new();
+    while !cursor.is_empty() {
+        let Some((len_bytes, tail)) = split_checked(cursor, 8) else {
+            return Err(PersistError::corrupt(path, "truncated frame length"));
+        };
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(len_bytes);
+        let len = usize::try_from(u64::from_le_bytes(len8))
+            .map_err(|_| PersistError::corrupt(path, "frame length overflows usize"))?;
+        let Some((payload, tail)) = split_checked(tail, len) else {
+            return Err(PersistError::corrupt(
+                path,
+                format!("truncated frame payload (want {len} bytes)"),
+            ));
+        };
+        let Some((sum, tail)) = split_checked(tail, 32) else {
+            return Err(PersistError::corrupt(path, "truncated frame checksum"));
+        };
+        if sum != sha256(payload) {
+            return Err(PersistError::corrupt(
+                path,
+                format!("frame {} checksum mismatch", frames.len()),
+            ));
+        }
+        frames.push(payload.to_vec());
+        cursor = tail;
+    }
+    Ok((frames, file_sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slicer-frame-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("f.slc")
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames_and_checksum() {
+        let path = tmp("rt");
+        let frames = vec![vec![1u8, 2, 3], Vec::new(), vec![0u8; 100]];
+        let sum = write_frames(&path, &frames).unwrap();
+        let (back, read_sum) = read_frames(&path).unwrap();
+        assert_eq!(back, frames);
+        assert_eq!(sum, read_sum);
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let path = tmp("trunc");
+        write_frames(&path, &[vec![7u8; 64]]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(
+            read_frames(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_corrupt() {
+        let path = tmp("flip");
+        write_frames(&path, &[vec![7u8; 64]]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[SEGMENT_MAGIC.len() + 8 + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_frames(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTSLICER").unwrap();
+        let err = read_frames(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # slicer-persist
+//!
+//! Crash-safe segmented on-disk persistence for a Slicer deployment.
+//!
+//! The paper's system model (§III) treats owner, cloud and chain as
+//! long-lived separate parties, but state that lives only on one heap
+//! dies with the process and forces a full rebuild. This crate gives the
+//! encrypted index `I`, the prime list `X`, the accumulator value `Ac`
+//! and the owner's trapdoor/set-hash state a durable home:
+//!
+//! * [`Snapshot`] — everything one instance needs to resume, captured
+//!   from a live owner/cloud pair and encoded with the workspace's own
+//!   [`slicer_crypto::codec`] (no serialization framework).
+//! * [`SegmentStore`] — a generation-numbered segment directory. Every
+//!   commit writes checksummed segment files, a manifest listing them,
+//!   and finally flips the `CURRENT` pointer by atomic rename. A torn
+//!   write — truncated segment, flipped bit, missing manifest — is
+//!   detected by the per-frame SHA-256 checksums and recovery falls back
+//!   to the last *sealed* generation.
+//!
+//! On-disk layout (see DESIGN.md §11 for the full diagram):
+//!
+//! ```text
+//! <dir>/
+//!   CURRENT                 "gen <n>\n" — flipped last, by rename
+//!   manifest-<n>.slc        framed Manifest: segment names + checksums
+//!   seg-<n>-<idx>.slc       framed payload chunks
+//! ```
+//!
+//! Every `.slc` file is a magic header followed by frames of
+//! `[u64 LE length ‖ payload ‖ SHA-256(payload)]`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use slicer_persist::{SegmentStore, Snapshot};
+//! # fn demo(snapshot: Snapshot) -> Result<(), slicer_persist::PersistError> {
+//! let store = SegmentStore::open("/var/lib/slicerd")?;
+//! let generation = store.commit(&snapshot)?;
+//! let (gen, restored) = store.load()?.expect("committed above");
+//! assert_eq!(gen, generation);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod frame;
+mod snapshot;
+mod store;
+
+pub use error::PersistError;
+pub use snapshot::{Snapshot, SnapshotMeta};
+pub use store::{Manifest, SegmentEntry, SegmentRole, SegmentStore};

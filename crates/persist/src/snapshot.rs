@@ -1,0 +1,136 @@
+//! The typed snapshot: everything one Slicer instance needs to resume.
+
+use slicer_accumulator::RsaParams;
+use slicer_bignum::BigUint;
+use slicer_core::{CloudServer, DataOwner, OwnerState, SlicerConfig};
+use slicer_store::CloudState;
+
+/// Deployment parameters persisted alongside the state so a restored
+/// process reconstructs an identical [`SlicerConfig`] — plus the key
+/// seed, from which the whole key schedule re-derives deterministically
+/// (`KeySet::from_seed`). The worker count is *not* persisted: pool
+/// sizing is a property of the machine, not of the data, and protocol
+/// outputs are worker-count independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// The owner's key-derivation seed.
+    pub seed: u64,
+    /// Value bit width `b`.
+    pub value_bits: u8,
+    /// Prime representative size.
+    pub prime_bits: u32,
+    /// Trapdoor modulus size.
+    pub trapdoor_bits: u32,
+    /// RSA accumulator public parameters.
+    pub accumulator_params: RsaParams,
+}
+
+slicer_crypto::impl_codec!(SnapshotMeta {
+    seed,
+    value_bits,
+    prime_bits,
+    trapdoor_bits,
+    accumulator_params,
+});
+
+impl SnapshotMeta {
+    /// Reconstructs the protocol configuration with an explicit pool
+    /// size (typically `slicer_par::configured_workers()`).
+    pub fn config_with_workers(&self, workers: usize) -> SlicerConfig {
+        SlicerConfig {
+            value_bits: self.value_bits,
+            prime_bits: self.prime_bits,
+            accumulator: self.accumulator_params.clone(),
+            trapdoor_bits: self.trapdoor_bits,
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// A complete instance snapshot: deployment meta, the owner's mutable
+/// state (`T`, `S`, `Ac`) and the cloud's storage (`I`, `X`, digest).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Deployment parameters + key seed.
+    pub meta: SnapshotMeta,
+    /// Owner state: trapdoor dictionary `T` and set-hash dictionary `S`.
+    pub owner: OwnerState,
+    /// The owner's running accumulation value `Ac`.
+    pub accumulator: BigUint,
+    /// Cloud storage: encrypted index, prime list, mirrored digest.
+    pub cloud: CloudState,
+}
+
+impl Snapshot {
+    /// Captures a snapshot from a live owner/cloud pair. `seed` must be
+    /// the seed the owner's keys were derived from — it is the only part
+    /// of the key material that is persisted.
+    pub fn capture(seed: u64, owner: &DataOwner, cloud: &CloudServer) -> Self {
+        let config = owner.config();
+        Snapshot {
+            meta: SnapshotMeta {
+                seed,
+                value_bits: config.value_bits,
+                prime_bits: config.prime_bits,
+                trapdoor_bits: config.trapdoor_bits,
+                accumulator_params: config.accumulator.clone(),
+            },
+            owner: owner.state().clone(),
+            accumulator: owner.accumulator().clone(),
+            cloud: cloud.storage().clone(),
+        }
+    }
+
+    /// The accumulator digest in its canonical on-chain byte form
+    /// (big-endian, padded to the modulus width) — the value the
+    /// crash/restart cycle asserts byte-identical.
+    pub fn accumulator_digest(&self) -> Vec<u8> {
+        self.accumulator
+            .to_bytes_be_padded(self.meta.accumulator_params.element_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicer_crypto::codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn meta_roundtrips_and_rebuilds_config() {
+        let config = SlicerConfig::test_8bit();
+        let meta = SnapshotMeta {
+            seed: 42,
+            value_bits: config.value_bits,
+            prime_bits: config.prime_bits,
+            trapdoor_bits: config.trapdoor_bits,
+            accumulator_params: config.accumulator.clone(),
+        };
+        let back: SnapshotMeta = from_bytes(&to_bytes(&meta).unwrap()).unwrap();
+        assert_eq!(back, meta);
+        let rebuilt = back.config_with_workers(4);
+        assert_eq!(rebuilt.value_bits, config.value_bits);
+        assert_eq!(rebuilt.prime_bits, config.prime_bits);
+        assert_eq!(rebuilt.workers, 4);
+        assert_eq!(rebuilt.max_value(), config.max_value());
+    }
+
+    #[test]
+    fn capture_reflects_live_state() {
+        let mut owner = DataOwner::new(SlicerConfig::test_8bit(), 9);
+        let out = owner
+            .build(&[(slicer_core::RecordId::from_u64(1), 7)])
+            .unwrap();
+        let mut cloud = CloudServer::new(
+            owner.config().clone(),
+            owner.keys().trapdoor().public().clone(),
+        );
+        cloud.ingest(&out).unwrap();
+        let snap = Snapshot::capture(9, &owner, &cloud);
+        assert_eq!(&snap.accumulator, owner.accumulator());
+        assert_eq!(snap.cloud.index.len(), cloud.storage().index.len());
+        assert_eq!(
+            snap.accumulator_digest().len(),
+            owner.config().accumulator.element_bytes()
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! The generation-numbered segment directory.
+//!
+//! Commit protocol (crash-safe by ordering):
+//!
+//! 1. write every `seg-<gen>-<idx>.slc` (fsync each),
+//! 2. write `manifest-<gen>.slc` listing the segments and their
+//!    whole-file checksums (fsync),
+//! 3. write `CURRENT.tmp` and atomically rename it over `CURRENT`
+//!    (fsync the directory) — this rename *is* the commit point,
+//! 4. prune generations older than the previous one.
+//!
+//! A crash before step 3 leaves the old `CURRENT` pointing at the old
+//! sealed generation; the half-written files of the new generation fail
+//! checksum validation and are ignored. A crash after step 3 is a
+//! completed commit. Recovery therefore always lands on the last sealed
+//! generation, and the previous generation is retained as a fallback
+//! against torn writes that corrupt the current one in place.
+
+use crate::error::PersistError;
+use crate::frame::{read_frames, write_frames};
+use crate::snapshot::{Snapshot, SnapshotMeta};
+use slicer_bignum::BigUint;
+use slicer_core::OwnerState;
+use slicer_crypto::codec::{from_bytes, to_bytes, CodecError, Decode, Encode, Reader};
+use slicer_store::{CloudState, EncryptedIndex, IndexLabel, PrimeList};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Index entries per `IndexChunk` segment.
+const INDEX_CHUNK: usize = 4096;
+/// Primes per `PrimesChunk` segment.
+const PRIMES_CHUNK: usize = 8192;
+/// Name of the commit-pointer file.
+const CURRENT: &str = "CURRENT";
+
+/// What a segment file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentRole {
+    /// Deployment parameters + key seed ([`SnapshotMeta`]).
+    Meta,
+    /// The owner's `T`/`S` state.
+    Owner,
+    /// The accumulator pair (owner value, cloud mirror).
+    Accumulator,
+    /// A chunk of encrypted-index entries, in ascending label order.
+    IndexChunk,
+    /// A chunk of the prime list `X`, in list order.
+    PrimesChunk,
+}
+
+impl Encode for SegmentRole {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            SegmentRole::Meta => 0,
+            SegmentRole::Owner => 1,
+            SegmentRole::Accumulator => 2,
+            SegmentRole::IndexChunk => 3,
+            SegmentRole::PrimesChunk => 4,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for SegmentRole {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(reader)? {
+            0 => Ok(SegmentRole::Meta),
+            1 => Ok(SegmentRole::Owner),
+            2 => Ok(SegmentRole::Accumulator),
+            3 => Ok(SegmentRole::IndexChunk),
+            4 => Ok(SegmentRole::PrimesChunk),
+            t => Err(CodecError::msg(format!("invalid segment role tag {t}"))),
+        }
+    }
+}
+
+/// One manifest line: a segment file, its role and its whole-file
+/// SHA-256.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name relative to the store directory.
+    pub name: String,
+    /// What the segment holds.
+    pub role: SegmentRole,
+    /// SHA-256 of the entire file as written.
+    pub checksum: [u8; 32],
+}
+
+slicer_crypto::impl_codec!(SegmentEntry {
+    name,
+    role,
+    checksum,
+});
+
+/// The manifest sealing one generation: the authoritative list of the
+/// generation's segment files and their checksums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The generation this manifest seals.
+    pub generation: u64,
+    /// Segment files in decode order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+slicer_crypto::impl_codec!(Manifest {
+    generation,
+    segments,
+});
+
+/// A crash-safe segment store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct SegmentStore {
+    dir: PathBuf,
+}
+
+fn codec_err(path: &Path, e: &CodecError) -> PersistError {
+    PersistError::corrupt(path, e.to_string())
+}
+
+fn manifest_name(generation: u64) -> String {
+    format!("manifest-{generation:010}.slc")
+}
+
+fn segment_name(generation: u64, index: usize) -> String {
+    format!("seg-{generation:010}-{index:04}.slc")
+}
+
+/// Parses the generation out of `manifest-<gen>.slc`, if `name` has that
+/// shape.
+fn parse_manifest_name(name: &str) -> Option<u64> {
+    name.strip_prefix("manifest-")?
+        .strip_suffix(".slc")?
+        .parse()
+        .ok()
+}
+
+/// Parses the generation out of `seg-<gen>-<idx>.slc`.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let middle = name.strip_prefix("seg-")?.strip_suffix(".slc")?;
+    let (generation, _idx) = middle.split_once('-')?;
+    generation.parse().ok()
+}
+
+impl SegmentStore {
+    /// Opens (creating if necessary) a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| PersistError::io(&dir, &e))?;
+        Ok(SegmentStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Every generation with a manifest file present, ascending. Makes no
+    /// claim about validity — a listed generation may still fail checksum
+    /// validation on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the directory cannot be listed.
+    pub fn generations(&self) -> Result<Vec<u64>, PersistError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| PersistError::io(&self.dir, &e))?;
+        let mut gens = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| PersistError::io(&self.dir, &e))?;
+            if let Some(g) = entry.file_name().to_str().and_then(parse_manifest_name) {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        gens.dedup();
+        Ok(gens)
+    }
+
+    /// The generation `CURRENT` points at, if the pointer exists and
+    /// parses. A missing or garbled pointer is not an error — recovery
+    /// falls back to scanning manifests.
+    pub fn current_generation(&self) -> Option<u64> {
+        let content = fs::read_to_string(self.dir.join(CURRENT)).ok()?;
+        content.trim().strip_prefix("gen ")?.parse().ok()
+    }
+
+    /// Commits a snapshot as a new sealed generation and returns its
+    /// number. The previous generation is retained for torn-write
+    /// fallback; anything older is pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures. A failed
+    /// commit never damages the previously sealed generation.
+    pub fn commit(&self, snapshot: &Snapshot) -> Result<u64, PersistError> {
+        let generation = self.generations()?.last().copied().unwrap_or(0) + 1;
+        let mut segments: Vec<SegmentEntry> = Vec::new();
+
+        let meta_bytes = to_bytes(&snapshot.meta).map_err(|e| codec_err(&self.dir, &e))?;
+        self.write_segment(generation, &mut segments, SegmentRole::Meta, &[meta_bytes])?;
+
+        let owner_bytes = to_bytes(&snapshot.owner).map_err(|e| codec_err(&self.dir, &e))?;
+        self.write_segment(
+            generation,
+            &mut segments,
+            SegmentRole::Owner,
+            &[owner_bytes],
+        )?;
+
+        let acc_pair = (
+            snapshot.accumulator.clone(),
+            snapshot.cloud.accumulator.clone(),
+        );
+        let acc_bytes = to_bytes(&acc_pair).map_err(|e| codec_err(&self.dir, &e))?;
+        self.write_segment(
+            generation,
+            &mut segments,
+            SegmentRole::Accumulator,
+            &[acc_bytes],
+        )?;
+
+        // Index entries travel in ascending label order so chunk contents
+        // (and checksums) are identical across runs.
+        let sorted = snapshot.cloud.index.sorted_entries();
+        for chunk in sorted.chunks(INDEX_CHUNK) {
+            let owned: Vec<(IndexLabel, Vec<u8>)> =
+                chunk.iter().map(|(l, d)| (**l, (*d).clone())).collect();
+            let bytes = to_bytes(&owned).map_err(|e| codec_err(&self.dir, &e))?;
+            self.write_segment(generation, &mut segments, SegmentRole::IndexChunk, &[bytes])?;
+        }
+
+        for chunk in snapshot.cloud.primes.as_slice().chunks(PRIMES_CHUNK) {
+            let owned: Vec<BigUint> = chunk.to_vec();
+            let bytes = to_bytes(&owned).map_err(|e| codec_err(&self.dir, &e))?;
+            self.write_segment(
+                generation,
+                &mut segments,
+                SegmentRole::PrimesChunk,
+                &[bytes],
+            )?;
+        }
+
+        let manifest = Manifest {
+            generation,
+            segments,
+        };
+        let manifest_bytes = to_bytes(&manifest).map_err(|e| codec_err(&self.dir, &e))?;
+        let manifest_path = self.dir.join(manifest_name(generation));
+        write_frames(&manifest_path, &[manifest_bytes])?;
+
+        // The commit point: flip CURRENT by atomic rename.
+        let tmp = self.dir.join("CURRENT.tmp");
+        let mut file = fs::File::create(&tmp).map_err(|e| PersistError::io(&tmp, &e))?;
+        file.write_all(format!("gen {generation}\n").as_bytes())
+            .map_err(|e| PersistError::io(&tmp, &e))?;
+        file.sync_all().map_err(|e| PersistError::io(&tmp, &e))?;
+        drop(file);
+        let current = self.dir.join(CURRENT);
+        fs::rename(&tmp, &current).map_err(|e| PersistError::io(&current, &e))?;
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        self.prune_older_than(generation.saturating_sub(1));
+        Ok(generation)
+    }
+
+    /// Loads the most recent *sealed* generation: the one `CURRENT`
+    /// points at when it validates, otherwise the newest older
+    /// generation that does. Returns `None` on a store with no
+    /// manifests at all (fresh directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NoSealedGeneration`] when manifests exist
+    /// but none validates, and [`PersistError::Io`] when the directory
+    /// itself cannot be read.
+    pub fn load(&self) -> Result<Option<(u64, Snapshot)>, PersistError> {
+        let mut candidates = self.generations()?;
+        candidates.reverse(); // newest first
+        if let Some(cur) = self.current_generation() {
+            // Try the committed pointer first, then everything else
+            // newest-first.
+            candidates.retain(|&g| g != cur);
+            candidates.insert(0, cur);
+        }
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let mut attempts = Vec::new();
+        for generation in candidates {
+            match self.load_generation(generation) {
+                Ok(snapshot) => return Ok(Some((generation, snapshot))),
+                Err(e) => attempts.push(format!("generation {generation}: {e}")),
+            }
+        }
+        Err(PersistError::NoSealedGeneration {
+            dir: self.dir.display().to_string(),
+            attempts,
+        })
+    }
+
+    /// Loads and fully validates one specific generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] on any checksum, framing or
+    /// decoding failure, and [`PersistError::Io`] on missing files.
+    pub fn load_generation(&self, generation: u64) -> Result<Snapshot, PersistError> {
+        let manifest_path = self.dir.join(manifest_name(generation));
+        let (frames, _sum) = read_frames(&manifest_path)?;
+        let [manifest_frame] = frames.as_slice() else {
+            return Err(PersistError::corrupt(
+                &manifest_path,
+                format!("expected 1 manifest frame, found {}", frames.len()),
+            ));
+        };
+        let manifest: Manifest =
+            from_bytes(manifest_frame).map_err(|e| codec_err(&manifest_path, &e))?;
+        if manifest.generation != generation {
+            return Err(PersistError::corrupt(
+                &manifest_path,
+                format!(
+                    "manifest claims generation {}, file name says {generation}",
+                    manifest.generation
+                ),
+            ));
+        }
+
+        let mut meta: Option<SnapshotMeta> = None;
+        let mut owner: Option<OwnerState> = None;
+        let mut accumulators: Option<(BigUint, Option<BigUint>)> = None;
+        let mut index = EncryptedIndex::new();
+        let mut primes = PrimeList::new();
+
+        for entry in &manifest.segments {
+            let path = self.dir.join(&entry.name);
+            let (frames, file_sum) = read_frames(&path)?;
+            if file_sum != entry.checksum {
+                return Err(PersistError::corrupt(
+                    &path,
+                    "file checksum does not match manifest",
+                ));
+            }
+            for frame in &frames {
+                match entry.role {
+                    SegmentRole::Meta => {
+                        meta = Some(from_bytes(frame).map_err(|e| codec_err(&path, &e))?);
+                    }
+                    SegmentRole::Owner => {
+                        owner = Some(from_bytes(frame).map_err(|e| codec_err(&path, &e))?);
+                    }
+                    SegmentRole::Accumulator => {
+                        accumulators = Some(from_bytes(frame).map_err(|e| codec_err(&path, &e))?);
+                    }
+                    SegmentRole::IndexChunk => {
+                        let chunk: Vec<(IndexLabel, Vec<u8>)> =
+                            from_bytes(frame).map_err(|e| codec_err(&path, &e))?;
+                        for (label, data) in chunk {
+                            index
+                                .put(label, data)
+                                .map_err(|e| PersistError::corrupt(&path, e.to_string()))?;
+                        }
+                    }
+                    SegmentRole::PrimesChunk => {
+                        let chunk: Vec<BigUint> =
+                            from_bytes(frame).map_err(|e| codec_err(&path, &e))?;
+                        for p in chunk {
+                            primes.push(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some(meta) = meta else {
+            return Err(PersistError::corrupt(&manifest_path, "no meta segment"));
+        };
+        let Some(owner) = owner else {
+            return Err(PersistError::corrupt(&manifest_path, "no owner segment"));
+        };
+        let Some((accumulator, cloud_accumulator)) = accumulators else {
+            return Err(PersistError::corrupt(
+                &manifest_path,
+                "no accumulator segment",
+            ));
+        };
+        Ok(Snapshot {
+            meta,
+            owner,
+            accumulator,
+            cloud: CloudState {
+                index,
+                primes,
+                accumulator: cloud_accumulator,
+            },
+        })
+    }
+
+    /// Writes one segment file and records its manifest entry.
+    fn write_segment(
+        &self,
+        generation: u64,
+        segments: &mut Vec<SegmentEntry>,
+        role: SegmentRole,
+        frames: &[Vec<u8>],
+    ) -> Result<(), PersistError> {
+        let name = segment_name(generation, segments.len());
+        let checksum = write_frames(&self.dir.join(&name), frames)?;
+        segments.push(SegmentEntry {
+            name,
+            role,
+            checksum,
+        });
+        Ok(())
+    }
+
+    /// Removes every segment and manifest file of generations older than
+    /// `keep_from`. Best-effort: a file that cannot be removed is left
+    /// behind as garbage and never affects correctness, since loads go
+    /// through manifests.
+    fn prune_older_than(&self, keep_from: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue;
+            };
+            let generation = parse_manifest_name(name).or_else(|| parse_segment_name(name));
+            if let Some(g) = generation {
+                if g < keep_from {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_back() {
+        assert_eq!(parse_manifest_name(&manifest_name(17)), Some(17));
+        assert_eq!(parse_segment_name(&segment_name(17, 3)), Some(17));
+        assert_eq!(parse_manifest_name("CURRENT"), None);
+        assert_eq!(parse_segment_name("manifest-0000000001.slc"), None);
+    }
+
+    #[test]
+    fn role_codec_rejects_unknown_tags() {
+        let roles = [
+            SegmentRole::Meta,
+            SegmentRole::Owner,
+            SegmentRole::Accumulator,
+            SegmentRole::IndexChunk,
+            SegmentRole::PrimesChunk,
+        ];
+        for role in roles {
+            let bytes = to_bytes(&role).unwrap();
+            assert_eq!(from_bytes::<SegmentRole>(&bytes).unwrap(), role);
+        }
+        assert!(from_bytes::<SegmentRole>(&[9]).is_err());
+    }
+}

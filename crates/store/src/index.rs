@@ -119,6 +119,16 @@ impl EncryptedIndex {
     pub fn size_bytes(&self) -> usize {
         self.entries.len() * INDEX_LABEL_LEN + self.value_bytes
     }
+
+    /// All entries in ascending label order. Persistence chunks the index
+    /// into segments through this, so segment contents (and their
+    /// checksums) are identical across runs regardless of hash-map
+    /// iteration order.
+    pub fn sorted_entries(&self) -> Vec<(&IndexLabel, &Vec<u8>)> {
+        let mut out: Vec<(&IndexLabel, &Vec<u8>)> = self.entries.iter().collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +166,14 @@ mod tests {
         let mut idx = EncryptedIndex::new();
         idx.extend((0u8..10).map(|i| ([i; 32], vec![i]))).unwrap();
         assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn sorted_entries_are_label_ordered() {
+        let mut idx = EncryptedIndex::new();
+        idx.extend((0u8..10).rev().map(|i| ([i; 32], vec![i])))
+            .unwrap();
+        let labels: Vec<u8> = idx.sorted_entries().iter().map(|(l, _)| l[0]).collect();
+        assert_eq!(labels, (0u8..10).collect::<Vec<_>>());
     }
 }

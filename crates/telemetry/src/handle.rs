@@ -154,6 +154,50 @@ impl TelemetryHandle {
         }
     }
 
+    /// Opens a *root* span that adopts an externally supplied trace id
+    /// instead of minting one — remote trace propagation: a daemon opens
+    /// its per-request span with the trace id carried in the request
+    /// envelope, so client- and server-side spans correlate into one
+    /// trace. A zero trace id (the "no trace" sentinel) falls back to a
+    /// fresh trace named by the span's own id, exactly like
+    /// [`TelemetryHandle::span`] on an empty stack.
+    ///
+    /// Unlike [`TelemetryHandle::span`], the innermost open span is *not*
+    /// used as parent: the remote caller is the logical parent, and its
+    /// spans live in another process.
+    pub fn span_in_trace(&self, name: &str, trace: TraceId) -> Span {
+        let Some(inner) = self.inner.as_ref() else {
+            return Span::disabled();
+        };
+        let id = SpanId(inner.ids.fetch_add(1, Ordering::Relaxed));
+        let ctx = SpanContext {
+            trace: if trace.0 == 0 { TraceId(id.0) } else { trace },
+            span: id,
+        };
+        {
+            let mut stack = inner.stack.lock().expect("span stack poisoned");
+            stack.push(ctx);
+        }
+        let start_ns = inner.clock.now_nanos();
+        inner.sink.record(Event::SpanStart {
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: None,
+            name: name.to_string(),
+            start_ns,
+        });
+        Span {
+            inner: Some(SpanInner {
+                handle: Arc::clone(inner),
+                name: name.to_string(),
+                start_ns,
+                ctx,
+                parent: None,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
     /// The innermost open span's context, if any.
     pub fn current_span(&self) -> Option<SpanContext> {
         let inner = self.inner.as_ref()?;
@@ -372,6 +416,26 @@ mod tests {
         drop(b);
         assert_eq!(t.current_span(), None);
         assert_ne!(a_ctx.span, SpanId(0));
+    }
+
+    #[test]
+    fn span_in_trace_adopts_remote_trace_id() {
+        let sink = Arc::new(MemorySink::new());
+        let t = TelemetryHandle::with(Arc::new(LogicalClock::new()), sink.clone() as _);
+        let remote = TraceId(777);
+        let s = t.span_in_trace("daemon.request", remote);
+        let ctx = s.ctx().unwrap();
+        assert_eq!(ctx.trace, remote);
+        // Children nest under it and inherit the remote trace.
+        let child = t.span("inner");
+        assert_eq!(child.ctx().unwrap().trace, remote);
+        drop(child);
+        drop(s);
+        // Zero is the "no trace" sentinel: fall back to a fresh trace.
+        let fallback = t.span_in_trace("daemon.request", TraceId(0));
+        let f = fallback.ctx().unwrap();
+        assert_eq!(f.trace.0, f.span.0);
+        drop(fallback);
     }
 
     #[test]

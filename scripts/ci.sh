@@ -78,4 +78,66 @@ grep -q "LEAKAGE AUDIT OK" <<<"$trace_out" || {
 }
 echo "telemetry smoke OK"
 
+echo "==> slicerd smoke (kill -9 crash/restart, byte-identical digest, no rebuild)"
+# Boot a daemon on a temp Unix socket, ingest + search + verify through
+# the CLI, SIGKILL it mid-flight, restart on the same data directory and
+# require (a) the accumulator digest to be byte-identical and (b) the
+# restored index to keep serving verifiable searches — the durability
+# contract of crates/persist + crates/daemon, end to end over real
+# processes.
+smoke_tmp="$(mktemp -d)"
+slicerd_pid=""
+cleanup_smoke() {
+  if [ -n "$slicerd_pid" ]; then kill -9 "$slicerd_pid" 2>/dev/null || true; fi
+  rm -rf "$smoke_tmp"
+}
+trap 'cleanup_smoke; rm -rf "$bench_tmp"' EXIT
+sock="$smoke_tmp/slicerd.sock"
+cli() { ./target/release/slicer-cli --connect "unix://$sock" "$@"; }
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if cli stat >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "slicerd smoke FAILED: daemon never became reachable" >&2
+  exit 1
+}
+
+./target/release/slicerd --listen "unix://$sock" --data "$smoke_tmp/data" \
+  --seed 11 --bits 8 >/dev/null &
+slicerd_pid=$!
+wait_ready
+cli ingest 1:10 2:20 3:30 >/dev/null
+cli search lt 25 | grep -q "verified=true" || {
+  echo "slicerd smoke FAILED: first-life search not verified" >&2
+  exit 1
+}
+cli verify | grep -q "chain_ok=true" || {
+  echo "slicerd smoke FAILED: chain verification failed" >&2
+  exit 1
+}
+digest_before="$(cli stat | grep -o 'digest=[0-9a-f]*')"
+
+kill -9 "$slicerd_pid"
+wait "$slicerd_pid" 2>/dev/null || true
+
+./target/release/slicerd --listen "unix://$sock" --data "$smoke_tmp/data" >/dev/null &
+slicerd_pid=$!
+wait_ready
+digest_after="$(cli stat | grep -o 'digest=[0-9a-f]*')"
+if [ -z "$digest_before" ] || [ "$digest_before" != "$digest_after" ]; then
+  echo "slicerd smoke FAILED: digest diverged across kill -9 restart" >&2
+  echo "  before: $digest_before" >&2
+  echo "  after:  $digest_after" >&2
+  exit 1
+fi
+cli search lt 25 | grep -q "verified=true" || {
+  echo "slicerd smoke FAILED: restored search not verified" >&2
+  exit 1
+}
+cli shutdown >/dev/null
+wait "$slicerd_pid"
+slicerd_pid=""
+echo "slicerd smoke OK"
+
 echo "CI OK"

@@ -221,3 +221,61 @@ fn telemetry_does_not_perturb_the_transcript() {
         );
     }
 }
+
+#[test]
+fn dual_delete_reinsert_transcript_is_seed_deterministic() {
+    // Regression pin for the dual-instance hash-iteration bug: the
+    // delete/re-insert bookkeeping used to walk `HashMap`s, so two
+    // same-seed runs could emit tokens (and therefore chain
+    // transactions) in different orders. The fixed implementation keeps
+    // ordered maps; this pins the whole delete+re-insert lifecycle to a
+    // byte-identical chain transcript.
+    use slicer_core::DualSlicer;
+
+    let lifecycle = |seed: u64| {
+        let mut dual = DualSlicer::setup(SlicerConfig::test_8bit(), seed);
+        let db: Vec<(RecordId, u64)> = (0..16)
+            .map(|i| (RecordId::from_u64(i), (i * 13 + 5) % 256))
+            .collect();
+        dual.insert(&db).expect("insert");
+        for id in [3u64, 7, 11] {
+            dual.delete(RecordId::from_u64(id)).expect("delete");
+        }
+        // Re-insert two deleted ids with new values, update a survivor.
+        dual.insert(&[(RecordId::from_u64(3), 99), (RecordId::from_u64(7), 100)])
+            .expect("re-insert");
+        dual.update(RecordId::from_u64(1), 42).expect("update");
+        let results = dual
+            .search(&Query::less_than(128), 10)
+            .expect("search")
+            .records
+            .iter()
+            .filter_map(RecordId::as_u64)
+            .collect::<Vec<u64>>();
+        let blocks = dual
+            .chain()
+            .blocks()
+            .iter()
+            .map(|b| to_bytes(b).expect("encodes"))
+            .collect::<Vec<Vec<u8>>>();
+        (results, blocks)
+    };
+
+    let (results_a, blocks_a) = lifecycle(0xD0A1);
+    let (results_b, blocks_b) = lifecycle(0xD0A1);
+    assert_eq!(
+        results_a, results_b,
+        "same-seed dual runs must return identical results in order"
+    );
+    assert_eq!(
+        blocks_a.len(),
+        blocks_b.len(),
+        "same-seed dual runs must agree on chain height"
+    );
+    for (i, (block_a, block_b)) in blocks_a.iter().zip(&blocks_b).enumerate() {
+        assert_eq!(
+            block_a, block_b,
+            "dual delete/re-insert transcript diverged at block {i}"
+        );
+    }
+}
