@@ -12,7 +12,7 @@ use crate::record::{Record, RecordId};
 use crate::user::DataUser;
 use slicer_chain::{Address, Blockchain, SlicerCall, SlicerContract, Transaction, TxReceipt};
 use slicer_crypto::sha256;
-use slicer_telemetry::{Clock, Span, TelemetryHandle};
+use slicer_telemetry::{Clock, Level, Span, TelemetryHandle};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -143,6 +143,14 @@ impl SlicerInstance {
             span.attr("tx.hash", hex_bytes(&deployed.receipt.tx_hash.0));
         }
         drop(span);
+        // Deterministic fields only (gas, never wall time), so same-seed
+        // structured-log transcripts stay byte-identical.
+        telemetry.log(
+            Level::Info,
+            "slicer.setup",
+            "parties deployed",
+            vec![("gas.used", deployed.receipt.gas_used.into())],
+        );
 
         let mut instance = SlicerInstance {
             owner,
@@ -372,6 +380,16 @@ impl SlicerInstance {
             span.attr("gas.used", receipt.gas_used);
             span.attr("tx.hash", hex_bytes(&receipt.tx_hash.0));
         }
+        self.telemetry.log(
+            Level::Info,
+            "slicer.build",
+            "shipment deployed",
+            vec![
+                ("entries", leak.entries.into()),
+                ("primes", leak.primes.into()),
+                ("gas.used", receipt.gas_used.into()),
+            ],
+        );
         self.declared.builds.push(leak);
         Ok(receipt)
     }
@@ -545,6 +563,18 @@ impl SlicerInstance {
             self.telemetry.count(&format!("phase.{name}.gas"), stat.gas);
         }
         drop(root);
+        self.telemetry.log(
+            Level::Info,
+            "slicer.search",
+            "search complete",
+            vec![
+                ("tokens", tokens.len().into()),
+                ("records", records.len().into()),
+                ("verified", verified.into()),
+                ("request.gas", req_receipt.gas_used.into()),
+                ("verify.gas", sub_receipt.gas_used.into()),
+            ],
+        );
 
         Ok(SearchOutcome {
             records,

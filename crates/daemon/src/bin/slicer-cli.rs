@@ -5,14 +5,24 @@
 //! slicer-cli --connect <endpoint> search (eq|lt|gt) <value> [--payment <n>]
 //! slicer-cli --connect <endpoint> verify
 //! slicer-cli --connect <endpoint> stat
+//! slicer-cli --connect <endpoint> metrics [--json | --check]
+//! slicer-cli --connect <endpoint> tail [<n>]
+//! slicer-cli --connect <endpoint> top [--interval-ms <n>]
 //! slicer-cli --connect <endpoint> shutdown
+//! slicer-cli flightrec <path>
 //! ```
 //!
-//! Exit status: 0 on success; 1 when a search is unverified or the chain
-//! fails verification; 2 on usage, transport or daemon errors.
+//! `flightrec` decodes a crash flight-recorder segment straight from
+//! disk and needs no daemon. Exit status: 0 on success; 1 when a search
+//! is unverified, the chain fails verification, or a flight recording
+//! shows an in-flight (crashed) request; 2 on usage, transport, daemon
+//! or validation errors.
 
 use slicer_core::Query;
-use slicer_daemon::{hex, DaemonClient, DaemonError, Endpoint};
+use slicer_daemon::{
+    hex, DaemonClient, DaemonError, Endpoint, FlightRecording, MetricsReply, IN_FLIGHT,
+};
+use std::path::Path;
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -26,7 +36,9 @@ fn main() {
 
 const USAGE: &str = "usage: slicer-cli --connect <endpoint> \
                      (ingest <id>:<value>... | search (eq|lt|gt) <value> [--payment <n>] \
-                     | verify | stat | shutdown)";
+                     | verify | stat | metrics [--json|--check] | tail [<n>] \
+                     | top [--interval-ms <n>] | shutdown) \
+                     — or: slicer-cli flightrec <path>";
 
 fn run(args: Vec<String>) -> Result<i32, DaemonError> {
     let mut it = args.iter();
@@ -47,14 +59,21 @@ fn run(args: Vec<String>) -> Result<i32, DaemonError> {
             }
         }
     }
-    let endpoint = connect.ok_or_else(|| DaemonError::Config("--connect is required".into()))?;
     let (name, rest) = command.ok_or_else(|| DaemonError::Config(USAGE.into()))?;
+    // The flight-recorder decoder reads a file, not a socket.
+    if name == "flightrec" {
+        return flightrec(&rest);
+    }
+    let endpoint = connect.ok_or_else(|| DaemonError::Config("--connect is required".into()))?;
     let mut client = DaemonClient::connect(&endpoint)?;
     match name.as_str() {
         "ingest" => ingest(&mut client, &rest),
         "search" => search(&mut client, &rest),
         "verify" => verify(&mut client),
         "stat" => stat(&mut client),
+        "metrics" => metrics(&mut client, &rest),
+        "tail" => tail(&mut client, &rest),
+        "top" => top(&mut client, &rest),
         "shutdown" => {
             client.shutdown()?;
             println!("shutdown acknowledged");
@@ -158,6 +177,234 @@ fn stat(client: &mut DaemonClient) -> Result<i32, DaemonError> {
         hex(&reply.digest)
     );
     Ok(0)
+}
+
+/// `metrics` — scrape the daemon. Default prints the Prometheus text
+/// exposition; `--json` prints the JSON export; `--check` validates both
+/// renderings (JSON via the in-crate RFC 8259 parser, Prometheus via a
+/// line-shape check) and prints machine-readable `metrics-check` markers.
+fn metrics(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    let reply = client.metrics()?;
+    match rest.first().map(String::as_str) {
+        None => {
+            print!("{}", reply.prometheus);
+            Ok(0)
+        }
+        Some("--json") => {
+            println!("{}", reply.json);
+            Ok(0)
+        }
+        Some("--check") => {
+            let mut ok = true;
+            match slicer_telemetry::json::parse(&reply.json) {
+                Ok(()) => println!("metrics-check json=ok bytes={}", reply.json.len()),
+                Err(e) => {
+                    ok = false;
+                    println!("metrics-check json=INVALID error={e}");
+                }
+            }
+            match check_prometheus(&reply.prometheus) {
+                Ok(samples) => println!("metrics-check prometheus=ok samples={samples}"),
+                Err(e) => {
+                    ok = false;
+                    println!("metrics-check prometheus=INVALID error={e}");
+                }
+            }
+            println!(
+                "metrics-check uptime_ns={} version={} boot={} generation={}",
+                reply.uptime_ns, reply.version, reply.boot, reply.generation
+            );
+            Ok(if ok { 0 } else { 2 })
+        }
+        Some(other) => Err(DaemonError::Config(format!(
+            "unknown metrics flag {other}, want --json|--check"
+        ))),
+    }
+}
+
+/// Validates the Prometheus text exposition shape: every line is either
+/// a `# TYPE <name> <kind>` comment or `<name>[{labels}] <integer>`, and
+/// at least one sample is present.
+fn check_prometheus(text: &str) -> Result<u64, String> {
+    let mut samples = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.split_whitespace();
+            if words.next() != Some("TYPE") {
+                return Err(format!("line {}: unexpected comment {line:?}", i + 1));
+            }
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no sample value in {line:?}", i + 1))?;
+        if name.is_empty() || !name.starts_with("slicer_") {
+            return Err(format!(
+                "line {}: metric {name:?} lacks slicer_ prefix",
+                i + 1
+            ));
+        }
+        value
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: non-integer sample {value:?}", i + 1))?;
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".into());
+    }
+    Ok(samples)
+}
+
+/// `tail [<n>]` — print the last `n` (default 20) structured-log records
+/// as JSON lines, newest last, plus a trailing drop count to stderr.
+fn tail(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    let count = match rest.first() {
+        Some(n) => parse_u64(n, "tail count")?,
+        None => 20,
+    };
+    let (lines, dropped) = client.tail(count)?;
+    for line in &lines {
+        println!("{line}");
+    }
+    if dropped > 0 {
+        eprintln!("slicer-cli: ring dropped {dropped} older records");
+    }
+    Ok(0)
+}
+
+/// `top [--interval-ms <n>]` — one-shot dashboard: two metrics samples
+/// `interval` apart, printed as request/error/byte rates plus per-RPC
+/// latency quantiles.
+fn top(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    let mut interval_ms: u64 = 1_000;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--interval-ms" => {
+                interval_ms = parse_u64(
+                    it.next()
+                        .ok_or_else(|| DaemonError::Config("--interval-ms needs a value".into()))?,
+                    "--interval-ms",
+                )?;
+            }
+            other => return Err(DaemonError::Config(format!("unknown top flag {other}"))),
+        }
+    }
+    let first = client.metrics()?;
+    // A one-shot observer pausing between two scrapes of a remote
+    // process — no protocol state is touched, so the determinism
+    // argument the lint protects does not apply here.
+    std::thread::sleep(std::time::Duration::from_millis(interval_ms)); // slicer-lint: allow(det.thread) — sampling delay in an observer CLI, outside any protocol path
+    let second = client.metrics()?;
+
+    let window_ns = second.uptime_ns.saturating_sub(first.uptime_ns).max(1);
+    println!(
+        "slicerd {} boot={} generation={} uptime={:.1}s window={}ms",
+        second.version,
+        second.boot,
+        second.generation,
+        second.uptime_ns as f64 / 1e9,
+        window_ns / 1_000_000
+    );
+    let rate = |name: &str| {
+        let delta = counter(&second, name).saturating_sub(counter(&first, name));
+        delta as f64 * 1e9 / window_ns as f64
+    };
+    println!(
+        "req/s {:>8.1}   conn/s {:>6.1}   in {:>10.0} B/s   out {:>10.0} B/s",
+        rate("rpc.requests"),
+        rate("net.connections"),
+        gauge_rate(&first, &second, "net.bytes_in", window_ns),
+        gauge_rate(&first, &second, "net.bytes_out", window_ns),
+    );
+    let errors: Vec<String> = second
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("rpc.error."))
+        .map(|(n, v)| format!("{}={v}", n.trim_start_matches("rpc.error.")))
+        .collect();
+    println!(
+        "errors {}",
+        if errors.is_empty() {
+            "none".to_string()
+        } else {
+            errors.join(" ")
+        }
+    );
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>10}",
+        "rpc", "count", "p50us", "p90us", "p99us"
+    );
+    for (name, h) in &second.histograms {
+        if !name.starts_with("rpc.") || h.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<18} {:>8} {:>10} {:>10} {:>10}",
+            name.trim_end_matches(".ns"),
+            h.count,
+            h.p50 / 1_000,
+            h.p90 / 1_000,
+            h.p99 / 1_000
+        );
+    }
+    Ok(0)
+}
+
+fn counter(reply: &MetricsReply, name: &str) -> u64 {
+    reply
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn gauge_rate(first: &MetricsReply, second: &MetricsReply, name: &str, window_ns: u64) -> f64 {
+    let at = |reply: &MetricsReply| {
+        reply
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    at(second).saturating_sub(at(first)) as f64 * 1e9 / window_ns as f64
+}
+
+/// `flightrec <path>` — decode a flight-recorder segment from disk:
+/// persist reason, the recent request ring (oldest first), and the log
+/// transcript the daemon held when it wrote the segment.
+fn flightrec(rest: &[String]) -> Result<i32, DaemonError> {
+    let path = rest
+        .first()
+        .ok_or_else(|| DaemonError::Config("flightrec wants a segment path".into()))?;
+    let rec = FlightRecording::load(Path::new(path))?;
+    println!(
+        "flightrec reason={} requests={} next_seq={}",
+        rec.reason,
+        rec.requests.len(),
+        rec.next_seq
+    );
+    let mut crashed = false;
+    for r in &rec.requests {
+        if r.outcome == IN_FLIGHT {
+            crashed = true;
+        }
+        println!(
+            "  seq={} kind={} trace={} start_ns={} duration_ns={} outcome={}",
+            r.seq, r.kind, r.trace_id, r.start_ns, r.duration_ns, r.outcome
+        );
+    }
+    if !rec.log.is_empty() {
+        println!("--- log transcript ---");
+        print!("{}", rec.log);
+        if !rec.log.ends_with('\n') {
+            println!();
+        }
+    }
+    Ok(if crashed { 1 } else { 0 })
 }
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, DaemonError> {

@@ -2,7 +2,9 @@
 
 use crate::error::DaemonError;
 use crate::net::{Endpoint, Stream};
-use crate::proto::{read_message, write_message, Request, RequestBody, Response, ResponseBody};
+use crate::proto::{
+    read_message, write_message, Request, RequestBody, Response, ResponseBody, WireHistogram,
+};
 use slicer_core::Query;
 
 /// One connection to a running `slicerd`.
@@ -132,6 +134,55 @@ impl DaemonClient {
         }
     }
 
+    /// Scrapes the daemon's live metrics: rendered Prometheus-text and
+    /// JSON exports plus the structured counter/gauge/histogram vectors
+    /// (so callers like `slicer-cli top` need no JSON parsing).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn metrics(&mut self) -> Result<MetricsReply, DaemonError> {
+        match self.call(RequestBody::Metrics)? {
+            ResponseBody::MetricsReport {
+                uptime_ns,
+                version,
+                boot,
+                generation,
+                prometheus,
+                json,
+                counters,
+                gauges,
+                histograms,
+            } => Ok(MetricsReply {
+                uptime_ns,
+                version,
+                boot,
+                generation,
+                prometheus,
+                json,
+                counters,
+                gauges,
+                histograms,
+            }),
+            other => Err(unexpected("MetricsReport", &other)),
+        }
+    }
+
+    /// Fetches the last `count` structured-log records as JSON lines,
+    /// plus how many older records the daemon's ring has evicted.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] /
+    /// [`DaemonError::Protocol`] on a daemon-side failure.
+    pub fn tail(&mut self, count: u64) -> Result<(Vec<String>, u64), DaemonError> {
+        match self.call(RequestBody::Tail { count })? {
+            ResponseBody::LogTail { lines, dropped } => Ok((lines, dropped)),
+            other => Err(unexpected("LogTail", &other)),
+        }
+    }
+
     /// Asks the daemon to exit after acknowledging.
     ///
     /// # Errors
@@ -165,6 +216,29 @@ pub struct SearchReply {
     pub verify_gas: u64,
     /// Canonical accumulator digest the proof verified against.
     pub digest: Vec<u8>,
+}
+
+/// A [`DaemonClient::metrics`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReply {
+    /// Nanoseconds since the daemon booted (its telemetry clock).
+    pub uptime_ns: u64,
+    /// The daemon's crate version.
+    pub version: String,
+    /// `"fresh"` or `"restored:<generation>"`.
+    pub boot: String,
+    /// Last sealed on-disk generation.
+    pub generation: u64,
+    /// Rendered Prometheus text exposition.
+    pub prometheus: String,
+    /// Rendered JSON export of the same snapshot.
+    pub json: String,
+    /// Counter names and values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge names and values, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram names and summaries, sorted by name.
+    pub histograms: Vec<(String, WireHistogram)>,
 }
 
 /// A [`DaemonClient::stat`] result.

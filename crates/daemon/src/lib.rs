@@ -24,12 +24,16 @@
 
 mod client;
 mod error;
+mod flightrec;
 mod net;
 pub mod proto;
 mod server;
 
-pub use client::{DaemonClient, SearchReply, StatReply};
+pub use client::{DaemonClient, MetricsReply, SearchReply, StatReply};
 pub use error::DaemonError;
-pub use net::{Endpoint, Listener, Stream};
-pub use proto::{Request, RequestBody, Response, ResponseBody};
+pub use flightrec::{FlightRecord, FlightRecorder, FlightRecording, FLIGHTREC_FILE, IN_FLIGHT};
+pub use net::{Endpoint, Listener, Meter, MeteredStream, Stream};
+pub use proto::{
+    ReadOutcome, Request, RequestBody, Response, ResponseBody, WireHistogram, MAX_FRAME_LEN,
+};
 pub use server::{hex, Boot, Daemon, DaemonConfig};

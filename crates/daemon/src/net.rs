@@ -9,6 +9,8 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Where the daemon listens / the client connects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,6 +144,69 @@ impl Write for Stream {
     }
 }
 
+/// Cumulative transport byte counters, shared between the metered
+/// streams that feed them and the observer (the daemon's `net.bytes_*`
+/// gauges). Clones share the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+}
+
+impl Meter {
+    /// A fresh meter with both counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes read through streams wearing this meter.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written through streams wearing this meter.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Stream`] that counts every byte through a shared [`Meter`].
+#[derive(Debug)]
+pub struct MeteredStream {
+    inner: Stream,
+    meter: Meter,
+}
+
+impl MeteredStream {
+    /// Wraps `stream`; reads and writes accumulate into `meter`.
+    pub fn new(stream: Stream, meter: Meter) -> Self {
+        MeteredStream {
+            inner: stream,
+            meter,
+        }
+    }
+}
+
+impl Read for MeteredStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.meter.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Write for MeteredStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.meter.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +231,31 @@ mod tests {
         );
         assert!(Endpoint::parse("tcp://").is_err());
         assert!(Endpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn metered_stream_counts_both_directions() {
+        let dir = std::env::temp_dir().join(format!("slicer-meter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = Endpoint::Unix(dir.join("meter.sock"));
+        let listener = ep.bind().unwrap();
+        let mut client = ep.connect().unwrap();
+        let meter = Meter::new();
+        let mut server = MeteredStream::new(listener.accept().unwrap(), meter.clone());
+
+        client.write_all(b"12345").unwrap();
+        client.flush().unwrap();
+        let mut buf = [0u8; 5];
+        server.read_exact(&mut buf).unwrap();
+        server.write_all(b"ok").unwrap();
+        server.flush().unwrap();
+        let mut back = [0u8; 2];
+        client.read_exact(&mut back).unwrap();
+
+        assert_eq!(meter.bytes_in(), 5);
+        assert_eq!(meter.bytes_out(), 2);
+        // Clones observe the same counters.
+        assert_eq!(meter.clone().bytes_in(), 5);
     }
 
     #[test]

@@ -55,6 +55,45 @@ pub enum RequestBody {
     Stat,
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
+    /// Scrape the daemon's metrics registry: Prometheus text + JSON
+    /// exports plus structured counter/gauge/histogram listings and
+    /// uptime/build info.
+    Metrics,
+    /// Fetch the last `count` structured log records as JSON lines.
+    Tail {
+        /// How many records to return (capped by the daemon's ring).
+        count: u64,
+    },
+}
+
+impl RequestBody {
+    /// Short operation name, used as the `rpc.kind` attribute and in
+    /// flight-recorder entries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestBody::Ingest { .. } => "ingest",
+            RequestBody::Search { .. } => "search",
+            RequestBody::Verify => "verify",
+            RequestBody::Stat => "stat",
+            RequestBody::Shutdown => "shutdown",
+            RequestBody::Metrics => "metrics",
+            RequestBody::Tail { .. } => "tail",
+        }
+    }
+
+    /// Name of the per-operation latency histogram this request feeds —
+    /// `'static` so the hot path never allocates a metric name.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            RequestBody::Ingest { .. } => "rpc.ingest.ns",
+            RequestBody::Search { .. } => "rpc.search.ns",
+            RequestBody::Verify => "rpc.verify.ns",
+            RequestBody::Stat => "rpc.stat.ns",
+            RequestBody::Shutdown => "rpc.shutdown.ns",
+            RequestBody::Metrics => "rpc.metrics.ns",
+            RequestBody::Tail { .. } => "rpc.tail.ns",
+        }
+    }
 }
 
 impl Encode for RequestBody {
@@ -72,6 +111,11 @@ impl Encode for RequestBody {
             RequestBody::Verify => 2u32.encode(out),
             RequestBody::Stat => 3u32.encode(out),
             RequestBody::Shutdown => 4u32.encode(out),
+            RequestBody::Metrics => 5u32.encode(out),
+            RequestBody::Tail { count } => {
+                6u32.encode(out);
+                count.encode(out);
+            }
         }
     }
 }
@@ -89,6 +133,10 @@ impl Decode for RequestBody {
             2 => Ok(RequestBody::Verify),
             3 => Ok(RequestBody::Stat),
             4 => Ok(RequestBody::Shutdown),
+            5 => Ok(RequestBody::Metrics),
+            6 => Ok(RequestBody::Tail {
+                count: u64::decode(reader)?,
+            }),
             v => Err(CodecError::msg(format!("invalid RequestBody variant {v}"))),
         }
     }
@@ -158,6 +206,92 @@ pub enum ResponseBody {
     },
     /// The daemon acknowledges shutdown and will exit.
     ShuttingDown,
+    /// A metrics scrape: rendered exports plus the structured registry,
+    /// so clients (`slicer-cli top`) need no JSON parsing.
+    MetricsReport {
+        /// Nanoseconds since the daemon's clock saw its boot reading.
+        uptime_ns: u64,
+        /// The daemon's crate version (build info).
+        version: String,
+        /// How the daemon booted: `"fresh"` or `"restored:<gen>"`.
+        boot: String,
+        /// Last sealed on-disk generation.
+        generation: u64,
+        /// The registry in Prometheus exposition format.
+        prometheus: String,
+        /// The registry as one JSON document.
+        json: String,
+        /// Sorted `(name, value)` counter pairs.
+        counters: Vec<(String, u64)>,
+        /// Sorted `(name, value)` gauge pairs.
+        gauges: Vec<(String, u64)>,
+        /// Sorted `(name, summary)` histogram pairs.
+        histograms: Vec<(String, WireHistogram)>,
+    },
+    /// The last N structured log records, one JSON line each.
+    LogTail {
+        /// JSON-encoded log records, oldest first.
+        lines: Vec<String>,
+        /// Records the daemon's ring has evicted so far.
+        dropped: u64,
+    },
+}
+
+/// A histogram summary on the wire — mirrors
+/// [`slicer_telemetry::HistogramSummary`], defined here so it can carry
+/// this crate's codec impl (the telemetry crate knows nothing about the
+/// wire format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+slicer_crypto::impl_codec!(WireHistogram {
+    count,
+    sum,
+    min,
+    max,
+    p50,
+    p90,
+    p99
+});
+
+impl From<&slicer_telemetry::HistogramSummary> for WireHistogram {
+    fn from(h: &slicer_telemetry::HistogramSummary) -> Self {
+        WireHistogram {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.p50,
+            p90: h.p90,
+            p99: h.p99,
+        }
+    }
+}
+
+impl WireHistogram {
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
 }
 
 impl Encode for ResponseBody {
@@ -218,6 +352,33 @@ impl Encode for ResponseBody {
                 digest.encode(out);
             }
             ResponseBody::ShuttingDown => 5u32.encode(out),
+            ResponseBody::MetricsReport {
+                uptime_ns,
+                version,
+                boot,
+                generation,
+                prometheus,
+                json,
+                counters,
+                gauges,
+                histograms,
+            } => {
+                6u32.encode(out);
+                uptime_ns.encode(out);
+                version.encode(out);
+                boot.encode(out);
+                generation.encode(out);
+                prometheus.encode(out);
+                json.encode(out);
+                counters.encode(out);
+                gauges.encode(out);
+                histograms.encode(out);
+            }
+            ResponseBody::LogTail { lines, dropped } => {
+                7u32.encode(out);
+                lines.encode(out);
+                dropped.encode(out);
+            }
         }
     }
 }
@@ -252,6 +413,21 @@ impl Decode for ResponseBody {
                 digest: Vec::decode(reader)?,
             }),
             5 => Ok(ResponseBody::ShuttingDown),
+            6 => Ok(ResponseBody::MetricsReport {
+                uptime_ns: u64::decode(reader)?,
+                version: String::decode(reader)?,
+                boot: String::decode(reader)?,
+                generation: u64::decode(reader)?,
+                prometheus: String::decode(reader)?,
+                json: String::decode(reader)?,
+                counters: Vec::decode(reader)?,
+                gauges: Vec::decode(reader)?,
+                histograms: Vec::decode(reader)?,
+            }),
+            7 => Ok(ResponseBody::LogTail {
+                lines: Vec::decode(reader)?,
+                dropped: u64::decode(reader)?,
+            }),
             v => Err(CodecError::msg(format!("invalid ResponseBody variant {v}"))),
         }
     }
@@ -311,6 +487,67 @@ pub fn read_message<T: Decode>(stream: &mut impl Read) -> Result<Option<T>, Daem
     Ok(Some(from_bytes(&payload)?))
 }
 
+/// What [`read_message_lenient`] found on the stream.
+#[derive(Debug)]
+pub enum ReadOutcome<T> {
+    /// Clean EOF at a frame boundary — the peer closed the connection.
+    Eof,
+    /// One well-formed message.
+    Msg(T),
+    /// The frame declared a payload above [`MAX_FRAME_LEN`]. The payload
+    /// has been drained, so the stream is still framed and the caller
+    /// can reply with an error and keep serving the connection.
+    Oversize {
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// A well-framed payload that does not decode. The frame has been
+    /// consumed, so the stream stays framed.
+    Undecodable(String),
+}
+
+/// Reads one length-prefixed message without giving up on the
+/// connection for recoverable faults: an oversized frame is drained
+/// (bounded, never buffered) and an undecodable payload is reported
+/// instead of raised, so the serving loop can answer with a clean
+/// [`ResponseBody::Error`] and keep the stream alive. Hard transport
+/// faults (mid-frame EOF, socket errors) still raise.
+///
+/// # Errors
+///
+/// [`DaemonError::Io`] on socket failure or EOF inside a frame.
+pub fn read_message_lenient<T: Decode>(
+    stream: &mut impl Read,
+) -> Result<ReadOutcome<T>, DaemonError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while let Some(unfilled) = len_bytes.get_mut(filled..).filter(|s| !s.is_empty()) {
+        let n = stream.read(unfilled)?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(ReadOutcome::Eof);
+            }
+            return Err(DaemonError::Io("eof inside frame length".into()));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        // Consume the declared payload through a bounded copy into the
+        // sink — no allocation proportional to the hostile length. A
+        // short read (peer gave up mid-payload) surfaces on the next
+        // frame read as EOF.
+        std::io::copy(&mut stream.take(u64::from(len)), &mut std::io::sink())?;
+        return Ok(ReadOutcome::Oversize { declared: len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    match from_bytes(&payload) {
+        Ok(message) => Ok(ReadOutcome::Msg(message)),
+        Err(e) => Ok(ReadOutcome::Undecodable(e.to_string())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +580,132 @@ mod tests {
             trace_id: u64::MAX,
             body: RequestBody::Shutdown,
         });
+        roundtrip(Request {
+            trace_id: 3,
+            body: RequestBody::Metrics,
+        });
+        roundtrip(Request {
+            trace_id: 4,
+            body: RequestBody::Tail { count: 50 },
+        });
+    }
+
+    #[test]
+    fn observability_responses_roundtrip_through_the_frame() {
+        for body in [
+            ResponseBody::MetricsReport {
+                uptime_ns: 12_345,
+                version: "0.1.0".into(),
+                boot: "restored:2".into(),
+                generation: 2,
+                prometheus: "# TYPE slicer_rpc_requests counter\n".into(),
+                json: "{\"counters\": {}}".into(),
+                counters: vec![("rpc.requests".into(), 9)],
+                gauges: vec![("net.bytes_in".into(), 100)],
+                histograms: vec![(
+                    "rpc.search.ns".into(),
+                    WireHistogram {
+                        count: 2,
+                        sum: 30,
+                        min: 10,
+                        max: 20,
+                        p50: 15,
+                        p90: 20,
+                        p99: 20,
+                    },
+                )],
+            },
+            ResponseBody::LogTail {
+                lines: vec!["{\"ts_ns\":1}".into(), "{\"ts_ns\":2}".into()],
+                dropped: 3,
+            },
+        ] {
+            let resp = Response { trace_id: 8, body };
+            let mut wire = Vec::new();
+            write_message(&mut wire, &resp).unwrap();
+            let back: Response = read_message(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn kind_and_metric_names_cover_every_request() {
+        let bodies = [
+            RequestBody::Ingest { records: vec![] },
+            RequestBody::Search {
+                query: Query::equal(1),
+                payment: 0,
+            },
+            RequestBody::Verify,
+            RequestBody::Stat,
+            RequestBody::Shutdown,
+            RequestBody::Metrics,
+            RequestBody::Tail { count: 1 },
+        ];
+        for body in &bodies {
+            assert!(!body.kind().is_empty());
+            assert_eq!(body.metric(), format!("rpc.{}.ns", body.kind()));
+        }
+    }
+
+    #[test]
+    fn lenient_reader_reports_instead_of_raising() {
+        // Clean EOF.
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_message_lenient::<Request>(&mut { empty }).unwrap(),
+            ReadOutcome::Eof
+        ));
+
+        // A good message still decodes.
+        let mut wire = Vec::new();
+        write_message(
+            &mut wire,
+            &Request {
+                trace_id: 5,
+                body: RequestBody::Stat,
+            },
+        )
+        .unwrap();
+        let ReadOutcome::Msg(req) = read_message_lenient::<Request>(&mut wire.as_slice()).unwrap()
+        else {
+            panic!("want Msg");
+        };
+        assert_eq!(req.trace_id, 5);
+
+        // Oversize: declared length above the cap is reported with the
+        // payload drained, and a following frame is still readable.
+        let declared = MAX_FRAME_LEN + 1;
+        let mut wire = (declared).to_be_bytes().to_vec();
+        wire.extend(std::iter::repeat(0u8).take(declared as usize));
+        write_message(
+            &mut wire,
+            &Request {
+                trace_id: 6,
+                body: RequestBody::Verify,
+            },
+        )
+        .unwrap();
+        let mut cursor = wire.as_slice();
+        let ReadOutcome::Oversize { declared: got } =
+            read_message_lenient::<Request>(&mut cursor).unwrap()
+        else {
+            panic!("want Oversize");
+        };
+        assert_eq!(got, declared);
+        let ReadOutcome::Msg(next) = read_message_lenient::<Request>(&mut cursor).unwrap() else {
+            panic!("the stream must stay framed after the drain");
+        };
+        assert_eq!(next.trace_id, 6);
+
+        // Undecodable payload: consumed and reported, not raised.
+        let payload = [0xFFu8; 3];
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        assert!(matches!(
+            read_message_lenient::<Request>(&mut wire.as_slice()).unwrap(),
+            ReadOutcome::Undecodable(_)
+        ));
     }
 
     #[test]

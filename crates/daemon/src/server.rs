@@ -14,13 +14,22 @@
 //! pool internally.
 
 use crate::error::DaemonError;
-use crate::net::{Listener, Stream};
-use crate::proto::{read_message, write_message, Request, RequestBody, Response, ResponseBody};
+use crate::flightrec::{FlightRecorder, FLIGHTREC_FILE};
+use crate::net::{Listener, Meter, MeteredStream};
+use crate::proto::{
+    read_message_lenient, write_message, ReadOutcome, Request, RequestBody, Response, ResponseBody,
+    MAX_FRAME_LEN,
+};
 use slicer_chain::Blockchain;
 use slicer_core::{Query, RecordId, SlicerConfig, SlicerInstance};
 use slicer_persist::{SegmentStore, Snapshot};
-use slicer_telemetry::{TelemetryHandle, TraceId};
+use slicer_telemetry::{Level, MemoryLogSink, TelemetryHandle, TraceId};
 use std::path::Path;
+use std::sync::Arc;
+
+/// How many accept failures in a row the serve loop tolerates before
+/// concluding the listener is gone and bailing out.
+const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 8;
 
 /// Boot parameters for a daemon.
 #[derive(Debug, Clone)]
@@ -31,6 +40,14 @@ pub struct DaemonConfig {
     /// Value bit width `b` for a fresh deployment (1..=64); likewise
     /// superseded by the persisted width on restore.
     pub value_bits: u8,
+    /// Requests taking at least this long earn a warn-level
+    /// `slow request` log line.
+    pub slow_request_ns: u64,
+    /// Capacity of the in-memory structured-log ring serving `Tail`
+    /// and embedded in the flight recorder.
+    pub log_ring: usize,
+    /// How many recent requests the flight recorder retains.
+    pub flightrec_requests: usize,
 }
 
 impl Default for DaemonConfig {
@@ -38,6 +55,9 @@ impl Default for DaemonConfig {
         DaemonConfig {
             seed: 7,
             value_bits: 16,
+            slow_request_ns: 250_000_000,
+            log_ring: slicer_telemetry::DEFAULT_LOG_RING,
+            flightrec_requests: 64,
         }
     }
 }
@@ -51,7 +71,8 @@ pub enum Boot {
     Restored(u64),
 }
 
-/// One durable Slicer deployment: instance + chain + segment store.
+/// One durable Slicer deployment: instance + chain + segment store,
+/// plus the operations plane (log ring, flight recorder, byte meter).
 #[derive(Debug)]
 pub struct Daemon {
     instance: SlicerInstance,
@@ -61,6 +82,11 @@ pub struct Daemon {
     generation: u64,
     boot: Boot,
     telemetry: TelemetryHandle,
+    slow_request_ns: u64,
+    boot_ns: u64,
+    meter: Meter,
+    log_ring: Arc<MemoryLogSink>,
+    flightrec: FlightRecorder,
 }
 
 impl Daemon {
@@ -90,7 +116,19 @@ impl Daemon {
         let mut chain = Blockchain::new();
         let workers = slicer_par::configured_workers();
 
-        match store.load()? {
+        // The operations plane comes up before the instance: the log
+        // ring catches boot-time records and the flight recorder's first
+        // persist happens on the first request.
+        let log_ring = Arc::new(MemoryLogSink::with_capacity(config.log_ring));
+        telemetry.add_log_sink(log_ring.clone() as _);
+        let flightrec = FlightRecorder::new(
+            data_dir.join(FLIGHTREC_FILE),
+            config.flightrec_requests,
+            log_ring.clone(),
+        );
+        let boot_ns = telemetry.now_nanos();
+
+        let daemon = match store.load()? {
             Some((generation, snapshot)) => {
                 let expected = snapshot.accumulator_digest();
                 let seed = snapshot.meta.seed;
@@ -112,6 +150,11 @@ impl Daemon {
                     generation,
                     boot: Boot::Restored(generation),
                     telemetry,
+                    slow_request_ns: config.slow_request_ns,
+                    boot_ns,
+                    meter: Meter::new(),
+                    log_ring,
+                    flightrec,
                 };
                 let restored = daemon.digest();
                 if restored != expected {
@@ -122,7 +165,7 @@ impl Daemon {
                         hex(&expected)
                     )));
                 }
-                Ok(daemon)
+                daemon
             }
             None => {
                 let slicer_config =
@@ -133,7 +176,7 @@ impl Daemon {
                     &mut chain,
                     telemetry.clone(),
                 )?;
-                Ok(Daemon {
+                Daemon {
                     instance,
                     chain,
                     store,
@@ -141,9 +184,27 @@ impl Daemon {
                     generation: 0,
                     boot: Boot::Fresh,
                     telemetry,
-                })
+                    slow_request_ns: config.slow_request_ns,
+                    boot_ns,
+                    meter: Meter::new(),
+                    log_ring,
+                    flightrec,
+                }
             }
-        }
+        };
+        daemon.telemetry.log(
+            Level::Info,
+            "slicerd.boot",
+            match daemon.boot {
+                Boot::Fresh => "fresh setup complete",
+                Boot::Restored(_) => "restored from sealed generation",
+            },
+            vec![
+                ("generation", daemon.generation.into()),
+                ("restored", matches!(daemon.boot, Boot::Restored(_)).into()),
+            ],
+        );
+        Ok(daemon)
     }
 
     /// How this daemon booted.
@@ -163,11 +224,31 @@ impl Daemon {
         self.instance.owner.accumulator().to_bytes_be_padded(width)
     }
 
+    /// The daemon's flight recorder — `slicerd` clones this into its
+    /// panic hook and persists on shutdown / fatal serve errors.
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        self.flightrec.clone()
+    }
+
     /// Handles one request, opening the per-request telemetry root span
     /// inside the client's trace (a zero trace id mints a fresh trace).
     /// Domain failures become [`ResponseBody::Error`]; the daemon
     /// survives them.
+    ///
+    /// Accounting per request: `rpc.requests` counter, the per-kind
+    /// `rpc.<kind>.ns` histogram, `rpc.error.internal` on a domain
+    /// failure, a flight-recorder entry persisted in-flight *before*
+    /// dispatch (so `kill -9` mid-request names the request on disk) and
+    /// finalized after, and a warn-level log line above the configured
+    /// slow-request threshold.
     pub fn handle(&mut self, request: &Request) -> Response {
+        let kind = request.body.kind();
+        self.telemetry.count("rpc.requests", 1);
+        let start_ns = self.telemetry.now_nanos();
+        let (seq, persist_err) = self.flightrec.begin(request.trace_id, kind, start_ns);
+        if let Some(e) = persist_err {
+            self.warn_persist(&e);
+        }
         let mut span = self
             .telemetry
             .span_in_trace("daemon.request", TraceId(request.trace_id));
@@ -178,12 +259,54 @@ impl Daemon {
             RequestBody::Verify => self.verify(),
             RequestBody::Stat => Ok(self.stat()),
             RequestBody::Shutdown => Ok(ResponseBody::ShuttingDown),
+            RequestBody::Metrics => Ok(self.metrics_report()),
+            RequestBody::Tail { count } => Ok(self.tail(*count)),
         }
         .unwrap_or_else(|e| ResponseBody::Error(e.to_string()));
+        let outcome = match &body {
+            ResponseBody::Error(msg) => {
+                self.telemetry.count("rpc.error.internal", 1);
+                format!("error: {msg}")
+            }
+            _ => "ok".to_string(),
+        };
         if span.is_recording() {
+            span.attr("rpc.kind", kind);
             span.attr("outcome.error", matches!(body, ResponseBody::Error(_)));
         }
+        drop(span);
+        let duration_ns = self.telemetry.now_nanos().saturating_sub(start_ns);
+        self.telemetry
+            .observe_ns(request.body.metric(), duration_ns);
+        if duration_ns >= self.slow_request_ns {
+            self.telemetry.log(
+                Level::Warn,
+                "slicerd.rpc",
+                "slow request",
+                vec![
+                    ("rpc.kind", kind.into()),
+                    ("duration.ns", duration_ns.into()),
+                    ("threshold.ns", self.slow_request_ns.into()),
+                    ("trace", trace_id.into()),
+                ],
+            );
+        }
+        if let Some(e) = self.flightrec.end(seq, duration_ns, &outcome) {
+            self.warn_persist(&e);
+        }
         Response { trace_id, body }
+    }
+
+    /// Logs a flight-recorder persist failure — the one fault the
+    /// recorder never propagates into request handling.
+    fn warn_persist(&self, e: &DaemonError) {
+        self.telemetry.count("rpc.error.io", 1);
+        self.telemetry.log(
+            Level::Warn,
+            "slicerd.flightrec",
+            format!("flight recorder persist failed: {e}"),
+            vec![],
+        );
     }
 
     fn ingest(&mut self, records: &[(u64, u64)]) -> Result<ResponseBody, DaemonError> {
@@ -237,31 +360,149 @@ impl Daemon {
         }
     }
 
+    fn metrics_report(&self) -> ResponseBody {
+        // Refresh transport gauges right before the snapshot so a
+        // scrape always sees current byte counts, not the state at the
+        // end of some earlier connection.
+        self.telemetry.gauge("net.bytes_in", self.meter.bytes_in());
+        self.telemetry
+            .gauge("net.bytes_out", self.meter.bytes_out());
+        self.telemetry.gauge("log.dropped", self.log_ring.dropped());
+        let snap = self.telemetry.snapshot();
+        ResponseBody::MetricsReport {
+            uptime_ns: self.telemetry.now_nanos().saturating_sub(self.boot_ns),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            boot: match self.boot {
+                Boot::Fresh => "fresh".to_string(),
+                Boot::Restored(generation) => format!("restored:{generation}"),
+            },
+            generation: self.generation,
+            prometheus: snap.to_prometheus_text(),
+            json: snap.to_json(),
+            counters: snap.counters().to_vec(),
+            gauges: snap.gauges().to_vec(),
+            histograms: snap
+                .histograms()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.into()))
+                .collect(),
+        }
+    }
+
+    fn tail(&self, count: u64) -> ResponseBody {
+        let n = usize::try_from(count).unwrap_or(usize::MAX);
+        ResponseBody::LogTail {
+            lines: self
+                .log_ring
+                .tail(n)
+                .iter()
+                .map(slicer_telemetry::LogRecord::to_json_line)
+                .collect(),
+            dropped: self.log_ring.dropped(),
+        }
+    }
+
     /// Serves connections sequentially until a `Shutdown` request
-    /// arrives. A failed connection is logged and the loop continues —
-    /// one bad client never takes the daemon down.
+    /// arrives. A failed connection — or a failed accept — is logged
+    /// and counted under the `rpc.error.*` taxonomy and the loop
+    /// continues: one bad client never takes the daemon down.
     ///
     /// # Errors
     ///
-    /// [`DaemonError::Io`] when `accept` itself fails (the listener is
-    /// gone — nothing left to serve).
+    /// [`DaemonError::Io`] after [`MAX_CONSECUTIVE_ACCEPT_FAILURES`]
+    /// accepts fail back-to-back (the listener is gone — nothing left
+    /// to serve). The flight recorder is persisted with reason
+    /// `"serve-error"` before bailing.
     pub fn serve(&mut self, listener: &Listener) -> Result<(), DaemonError> {
+        let mut failed_accepts = 0u32;
         loop {
-            let stream = listener.accept()?;
-            match self.serve_connection(stream) {
+            let stream = match listener.accept() {
+                Ok(stream) => {
+                    failed_accepts = 0;
+                    stream
+                }
+                Err(e) => {
+                    failed_accepts += 1;
+                    self.telemetry.count("rpc.error.io", 1);
+                    self.telemetry.log(
+                        Level::Error,
+                        "slicerd.net",
+                        format!("accept failed: {e}"),
+                        vec![("consecutive", failed_accepts.into())],
+                    );
+                    if failed_accepts >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                        if let Err(persist) = self.flightrec.persist("serve-error") {
+                            self.warn_persist(&persist);
+                        }
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
+            self.telemetry.count("net.connections", 1);
+            match self.serve_connection(MeteredStream::new(stream, self.meter.clone())) {
                 Ok(true) => return Ok(()),
                 Ok(false) => {}
-                Err(e) => eprintln!("slicerd: connection error: {e}"),
+                Err(e) => {
+                    self.telemetry.count(error_counter(&e), 1);
+                    self.telemetry.log(
+                        Level::Warn,
+                        "slicerd.net",
+                        format!("connection error: {e}"),
+                        vec![],
+                    );
+                }
             }
         }
     }
 
     /// Serves one connection until the peer closes it. Returns `true`
-    /// when the peer requested shutdown.
-    fn serve_connection(&mut self, mut stream: Stream) -> Result<bool, DaemonError> {
+    /// when the peer requested shutdown. Oversized and undecodable
+    /// frames are answered with a clean [`ResponseBody::Error`] (and
+    /// counted under `rpc.error.oversize` / `rpc.error.decode`) instead
+    /// of dropping the connection — the lenient reader keeps the stream
+    /// framed in both cases.
+    fn serve_connection(&mut self, mut stream: MeteredStream) -> Result<bool, DaemonError> {
         loop {
-            let Some(request) = read_message::<Request>(&mut stream)? else {
-                return Ok(false);
+            let request = match read_message_lenient::<Request>(&mut stream)? {
+                ReadOutcome::Eof => return Ok(false),
+                ReadOutcome::Msg(request) => request,
+                ReadOutcome::Oversize { declared } => {
+                    self.telemetry.count("rpc.error.oversize", 1);
+                    self.telemetry.log(
+                        Level::Warn,
+                        "slicerd.rpc",
+                        "oversize frame rejected",
+                        vec![("declared", declared.into()), ("cap", MAX_FRAME_LEN.into())],
+                    );
+                    write_message(
+                        &mut stream,
+                        &Response {
+                            trace_id: 0,
+                            body: ResponseBody::Error(format!(
+                                "frame too large: {declared} bytes exceeds cap {MAX_FRAME_LEN}"
+                            )),
+                        },
+                    )?;
+                    continue;
+                }
+                ReadOutcome::Undecodable(msg) => {
+                    self.telemetry.count("rpc.error.decode", 1);
+                    self.telemetry.log(
+                        Level::Warn,
+                        "slicerd.rpc",
+                        format!("undecodable request: {msg}"),
+                        vec![],
+                    );
+                    write_message(
+                        &mut stream,
+                        &Response {
+                            trace_id: 0,
+                            body: ResponseBody::Error(format!("undecodable request: {msg}")),
+                        },
+                    )?;
+                    continue;
+                }
             };
             let shutdown = matches!(request.body, RequestBody::Shutdown);
             let response = self.handle(&request);
@@ -270,6 +511,15 @@ impl Daemon {
                 return Ok(true);
             }
         }
+    }
+}
+
+/// Maps a transport-level failure to its `rpc.error.*` taxonomy counter.
+fn error_counter(e: &DaemonError) -> &'static str {
+    match e {
+        DaemonError::Io(_) => "rpc.error.io",
+        DaemonError::Protocol(_) => "rpc.error.protocol",
+        _ => "rpc.error.internal",
     }
 }
 
@@ -296,6 +546,7 @@ mod tests {
         DaemonConfig {
             seed: 11,
             value_bits: 8,
+            ..DaemonConfig::default()
         }
     }
 
@@ -424,11 +675,120 @@ mod tests {
     }
 
     #[test]
+    fn requests_are_accounted_and_metrics_scrape_reflects_them() {
+        use slicer_telemetry::{LogicalClock, NullSink};
+        let dir = tmp("metrics");
+        let telemetry =
+            TelemetryHandle::with(Arc::new(LogicalClock::with_step(1_000)), Arc::new(NullSink));
+        let mut daemon = Daemon::open(&dir, cfg(), telemetry.clone()).unwrap();
+
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Ingest {
+                records: vec![(1, 10), (2, 20)],
+            },
+        });
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Search {
+                query: Query::less_than(15),
+                payment: 100,
+            },
+        });
+        // A domain failure lands in the internal-error bucket.
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Ingest {
+                records: vec![(9, 9_999)],
+            },
+        });
+
+        let ResponseBody::MetricsReport {
+            boot,
+            generation,
+            prometheus,
+            json,
+            counters,
+            histograms,
+            ..
+        } = daemon.metrics_report()
+        else {
+            panic!("want MetricsReport");
+        };
+        assert_eq!(boot, "fresh");
+        assert_eq!(generation, 1);
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        // Metrics itself is not yet observed (the report is built
+        // mid-request), so only the three handled requests count.
+        assert_eq!(counter("rpc.requests"), 3);
+        assert_eq!(counter("rpc.error.internal"), 1);
+        let (_, ingest) = histograms
+            .iter()
+            .find(|(n, _)| n == "rpc.ingest.ns")
+            .expect("ingest histogram");
+        assert_eq!(ingest.count, 2);
+        assert!(prometheus.contains("slicer_rpc_requests 3"), "{prometheus}");
+        // The JSON export must be RFC 8259-valid.
+        slicer_telemetry::json::parse(&json).expect("valid JSON export");
+    }
+
+    #[test]
+    fn tail_returns_json_log_lines_and_flightrec_names_requests() {
+        use slicer_telemetry::{LogicalClock, NullSink};
+        let dir = tmp("tail");
+        let telemetry =
+            TelemetryHandle::with(Arc::new(LogicalClock::with_step(1)), Arc::new(NullSink));
+        let config = DaemonConfig {
+            slow_request_ns: 0, // every request logs as slow
+            ..cfg()
+        };
+        let mut daemon = Daemon::open(&dir, config, telemetry).unwrap();
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Stat,
+        });
+
+        let ResponseBody::LogTail { lines, dropped } = daemon.tail(10) else {
+            panic!("want LogTail");
+        };
+        assert_eq!(dropped, 0);
+        assert!(!lines.is_empty());
+        for line in &lines {
+            slicer_telemetry::json::parse(line).expect("valid JSON line");
+        }
+        assert!(
+            lines.iter().any(|l| l.contains("slow request")),
+            "{lines:?}"
+        );
+
+        // The flight recorder persisted the stat request with its
+        // final outcome — and a fresh scrape request, begun but not
+        // ended, shows up as in-flight on disk.
+        let (_, err) = daemon.flightrec.begin(7, "metrics", 123);
+        assert!(err.is_none());
+        let rec = crate::flightrec::FlightRecording::load(daemon.flightrec.path()).unwrap();
+        assert_eq!(rec.reason, "request-start");
+        assert!(rec
+            .requests
+            .iter()
+            .any(|r| r.kind == "stat" && r.outcome == "ok"));
+        let in_flight = rec.in_flight().expect("one in-flight request");
+        assert_eq!(in_flight.kind, "metrics");
+    }
+
+    #[test]
     fn bad_value_bits_is_a_config_error() {
         let dir = tmp("bits");
         let bad = DaemonConfig {
             seed: 1,
             value_bits: 0,
+            ..DaemonConfig::default()
         };
         assert!(matches!(
             Daemon::open(&dir, bad, TelemetryHandle::disabled()),

@@ -4,7 +4,8 @@
 //! digest — no rebuild.
 
 use slicer_core::Query;
-use slicer_daemon::{DaemonClient, Endpoint};
+use slicer_daemon::{DaemonClient, Endpoint, FlightRecording, FLIGHTREC_FILE};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
@@ -71,6 +72,22 @@ fn kill_nine_then_restart_serves_identical_verifiable_results() {
     // SIGKILL: no destructors, no flush — the crash the store is built for.
     child.kill().unwrap();
     child.wait().unwrap();
+
+    // The flight recorder persisted at every request boundary, so even a
+    // SIGKILL'd daemon leaves a decodable recording naming its recent
+    // requests — here the stat that ran last, with its final outcome.
+    let rec = FlightRecording::load(&data.join(FLIGHTREC_FILE))
+        .expect("flight recording survives kill -9 and validates");
+    assert!(!rec.requests.is_empty());
+    assert!(
+        rec.requests
+            .iter()
+            .any(|r| r.kind == "stat" && r.outcome == "ok"),
+        "{:?}",
+        rec.requests
+    );
+    assert!(rec.requests.iter().any(|r| r.kind == "search"));
+    assert!(rec.in_flight().is_none(), "no request was mid-dispatch");
 
     // Second life: same data directory, fresh process.
     let mut child = spawn_daemon(&socket, &data);
@@ -153,8 +170,114 @@ fn cli_round_trip_against_a_live_daemon() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("generation=1"), "{text}");
 
+    // Operations plane through the CLI: scrape, validate, tail, top.
+    let out = cli(&["metrics"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slicer_rpc_requests"), "{text}");
+    assert!(text.contains("slicer_rpc_search_ns"), "{text}");
+
+    let out = cli(&["metrics", "--check"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics-check json=ok"), "{text}");
+    assert!(text.contains("metrics-check prometheus=ok"), "{text}");
+
+    let out = cli(&["tail", "50"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"target\":\"slicerd.boot\""), "{text}");
+
+    let out = cli(&["top", "--interval-ms", "10"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("req/s"), "{text}");
+
     let out = cli(&["shutdown"]);
     assert!(out.status.success(), "{out:?}");
     let status = child.wait().unwrap();
     assert!(status.success(), "clean shutdown exit: {status}");
+
+    // A clean shutdown stamps the recording; the offline decoder reads
+    // it without a daemon and exits 0 (nothing was in flight).
+    let out = Command::new(env!("CARGO_BIN_EXE_slicer-cli"))
+        .args([
+            "flightrec",
+            &data.join(FLIGHTREC_FILE).display().to_string(),
+        ])
+        .output()
+        .expect("run slicer-cli flightrec");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reason=shutdown"), "{text}");
+    assert!(text.contains("kind=ingest"), "{text}");
+}
+
+#[test]
+fn oversize_frame_gets_a_clean_error_and_the_connection_survives() {
+    use slicer_daemon::proto::{
+        read_message, write_message, Request, RequestBody, Response, ResponseBody, MAX_FRAME_LEN,
+    };
+
+    let dir = temp_dir("oversize");
+    let socket = dir.join("slicerd.sock");
+    let data = dir.join("data");
+    let endpoint = Endpoint::Unix(socket.clone());
+
+    let mut child = spawn_daemon(&socket, &data);
+    drop(connect_with_retry(&endpoint, &mut child));
+
+    // Hand-roll a frame whose length prefix exceeds the 64 MiB cap. The
+    // daemon must drain it, answer with a framed error, and keep the
+    // connection usable — not hang up.
+    let declared = MAX_FRAME_LEN + 1;
+    let mut stream = endpoint.connect().unwrap();
+    stream.write_all(&declared.to_be_bytes()).unwrap();
+    let chunk = vec![0u8; 1 << 20];
+    let mut remaining = declared as usize;
+    while remaining > 0 {
+        let n = remaining.min(chunk.len());
+        stream.write_all(&chunk[..n]).unwrap();
+        remaining -= n;
+    }
+    stream.flush().unwrap();
+
+    let reply: Response = read_message(&mut stream)
+        .expect("framed reply, not a dropped connection")
+        .expect("a response frame");
+    let ResponseBody::Error(msg) = reply.body else {
+        panic!("want Error, got {:?}", reply.body);
+    };
+    assert!(msg.contains("frame too large"), "{msg}");
+
+    // Same connection, well-formed request: still served.
+    write_message(
+        &mut stream,
+        &Request {
+            trace_id: 9,
+            body: RequestBody::Stat,
+        },
+    )
+    .unwrap();
+    let reply: Response = read_message(&mut stream).unwrap().expect("stat reply");
+    assert!(
+        matches!(reply.body, ResponseBody::Stats { .. }),
+        "{reply:?}"
+    );
+    // The daemon serves sequentially: close this connection before the
+    // metrics client queues up behind it.
+    drop(stream);
+
+    // The rejection landed in the error taxonomy.
+    let mut client = DaemonClient::connect(&endpoint).unwrap();
+    let metrics = client.metrics().unwrap();
+    let oversize = metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == "rpc.error.oversize")
+        .map_or(0, |(_, v)| *v);
+    assert_eq!(oversize, 1, "{:?}", metrics.counters);
+
+    client.shutdown().unwrap();
+    child.wait().unwrap();
 }

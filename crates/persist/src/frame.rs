@@ -32,10 +32,13 @@ pub(crate) fn encode_frames(frames: &[Vec<u8>]) -> Vec<u8> {
 /// Writes `frames` to `path` (fsynced) and returns the SHA-256 of the
 /// whole file — the checksum the manifest records for the segment.
 ///
+/// Public so sibling crates can persist their own checksummed artifacts
+/// in the same `.slc` format (the daemon's crash flight recorder does).
+///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on any filesystem failure.
-pub(crate) fn write_frames(path: &Path, frames: &[Vec<u8>]) -> Result<[u8; 32], PersistError> {
+pub fn write_frames(path: &Path, frames: &[Vec<u8>]) -> Result<[u8; 32], PersistError> {
     let image = encode_frames(frames);
     let mut file = fs::File::create(path).map_err(|e| PersistError::io(path, &e))?;
     file.write_all(&image)
@@ -57,7 +60,7 @@ fn split_checked(bytes: &[u8], n: usize) -> Option<(&[u8], &[u8])> {
 ///
 /// Returns [`PersistError::Io`] when the file cannot be read and
 /// [`PersistError::Corrupt`] on any validation failure.
-pub(crate) fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, [u8; 32]), PersistError> {
+pub fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, [u8; 32]), PersistError> {
     let bytes = fs::read(path).map_err(|e| PersistError::io(path, &e))?;
     let file_sum = sha256(&bytes);
     let Some(mut cursor) = bytes.strip_prefix(SEGMENT_MAGIC.as_slice()) else {

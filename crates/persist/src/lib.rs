@@ -52,5 +52,6 @@ mod snapshot;
 mod store;
 
 pub use error::PersistError;
+pub use frame::{read_frames, write_frames};
 pub use snapshot::{Snapshot, SnapshotMeta};
 pub use store::{Manifest, SegmentEntry, SegmentRole, SegmentStore};

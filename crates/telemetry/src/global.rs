@@ -83,6 +83,23 @@ pub fn span(name: &str) -> crate::Span {
     }
 }
 
+/// Emits a structured log record through the global handle, if enabled.
+/// Same semantics as [`TelemetryHandle::log`]: level-filtered, dropped
+/// when no log sink is installed.
+pub fn log(
+    level: crate::Level,
+    target: &'static str,
+    message: impl Into<String>,
+    fields: crate::Attrs,
+) {
+    if enabled() {
+        GLOBAL
+            .read()
+            .expect("global telemetry lock poisoned")
+            .log(level, target, message, fields);
+    }
+}
+
 /// Records `nanos` into histogram `name` on the global handle, if
 /// enabled.
 pub fn observe_ns(name: &str, nanos: u64) {
@@ -121,6 +138,10 @@ mod tests {
         count("leaf.hits", 3);
         gauge("leaf.size", 9);
         observe_ns("leaf.latency", 40);
+        let ring = std::sync::Arc::new(crate::MemoryLogSink::new());
+        t.add_log_sink(ring.clone() as _);
+        log(crate::Level::Info, "leaf", "through facade", vec![]);
+        assert_eq!(ring.len(), 1);
         assert_eq!(t.counter_value("leaf.hits"), Some(5));
         assert_eq!(t.snapshot().gauge("leaf.size"), Some(9));
         assert_eq!(t.snapshot().histogram("leaf.latency").unwrap().count, 1);

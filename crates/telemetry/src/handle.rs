@@ -2,19 +2,31 @@
 //! span guard it hands out.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::export::Snapshot;
+use crate::log::{Level, LogRecord, LogSink};
 use crate::metrics::Metrics;
 use crate::sink::{Event, NullSink, Sink};
 use crate::trace::{AttrValue, Attrs, SpanContext, SpanId, TraceId};
+
+/// Mutable logging configuration of a handle: the minimum level and the
+/// installed sinks. Behind an `RwLock` because sinks are installed after
+/// construction (the daemon adds its `Tail` ring once it knows its
+/// config) while records flow from many clones concurrently.
+#[derive(Debug)]
+struct LogState {
+    level: Level,
+    sinks: Vec<Arc<dyn LogSink>>,
+}
 
 #[derive(Debug)]
 struct Inner {
     metrics: Metrics,
     clock: Arc<dyn Clock>,
     sink: Arc<dyn Sink>,
+    log: RwLock<LogState>,
     /// Next trace/span id. Sequence-counter assignment (no wall clock,
     /// no randomness) keeps same-seed transcripts byte-identical.
     /// Starts at 1; id 0 means "no trace".
@@ -66,6 +78,10 @@ impl TelemetryHandle {
                 metrics: Metrics::new(),
                 clock,
                 sink,
+                log: RwLock::new(LogState {
+                    level: Level::Info,
+                    sinks: Vec::new(),
+                }),
                 ids: AtomicU64::new(1),
                 stack: Mutex::new(Vec::new()),
             })),
@@ -227,6 +243,76 @@ impl TelemetryHandle {
     /// Current value of counter `name`, if recorded.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.inner.as_ref()?.metrics.counter_value(name)
+    }
+
+    /// Installs a structured-log sink. Records at or above the current
+    /// level fan out to every installed sink in installation order.
+    pub fn add_log_sink(&self, sink: Arc<dyn LogSink>) {
+        if let Some(inner) = &self.inner {
+            match inner.log.write() {
+                Ok(mut state) => state.sinks.push(sink),
+                Err(poisoned) => poisoned.into_inner().sinks.push(sink),
+            }
+        }
+    }
+
+    /// Sets the minimum level a record needs to reach the sinks.
+    /// Defaults to [`Level::Info`].
+    pub fn set_log_level(&self, level: Level) {
+        if let Some(inner) = &self.inner {
+            match inner.log.write() {
+                Ok(mut state) => state.level = level,
+                Err(poisoned) => poisoned.into_inner().level = level,
+            }
+        }
+    }
+
+    /// Whether a record at `level` would reach at least one sink. Guard
+    /// expensive message/field construction on this.
+    pub fn log_enabled(&self, level: Level) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let state = match inner.log.read() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        level >= state.level && !state.sinks.is_empty()
+    }
+
+    /// Emits a structured log record: timestamped on the handle's
+    /// [`Clock`] (deterministic under a
+    /// [`LogicalClock`](crate::LogicalClock)), leveled, targeted at a
+    /// subsystem, with ordered `'static`-keyed fields. Dropped without
+    /// reading the clock when disabled, below the level, or sink-less,
+    /// so filtered logging cannot perturb a logical-clock timeline.
+    pub fn log(
+        &self,
+        level: Level,
+        target: &'static str,
+        message: impl Into<String>,
+        fields: Attrs,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let state = match inner.log.read() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if level < state.level || state.sinks.is_empty() {
+            return;
+        }
+        let record = LogRecord {
+            ts_ns: inner.clock.now_nanos(),
+            level,
+            target,
+            message: message.into(),
+            fields,
+        };
+        for sink in &state.sinks {
+            sink.log(&record);
+        }
     }
 }
 
@@ -466,6 +552,57 @@ mod tests {
         );
         drop(inner);
         drop(outer);
+    }
+
+    #[test]
+    fn log_records_are_leveled_filtered_and_clock_stamped() {
+        use crate::log::MemoryLogSink;
+
+        let ring = Arc::new(MemoryLogSink::new());
+        let t = TelemetryHandle::with(Arc::new(LogicalClock::with_step(10)), Arc::new(NullSink));
+        // No sink installed yet: dropped, and the clock is not read.
+        t.log(Level::Info, "t", "before sinks", vec![]);
+        assert!(!t.log_enabled(Level::Error));
+        t.add_log_sink(ring.clone() as _);
+        assert!(t.log_enabled(Level::Info));
+        assert!(!t.log_enabled(Level::Debug), "default level is info");
+
+        t.log(Level::Debug, "t", "filtered", vec![]);
+        t.log(Level::Info, "t", "first", vec![("n", AttrValue::U64(1))]);
+        t.log(Level::Warn, "t", "second", vec![]);
+        let records = ring.records();
+        assert_eq!(records.len(), 2);
+        // Filtered/sink-less calls never read the clock: the first real
+        // record gets the first reading.
+        assert_eq!(records[0].ts_ns, 0);
+        assert_eq!(records[1].ts_ns, 10);
+        assert_eq!(records[0].message, "first");
+        assert_eq!(records[0].fields, vec![("n", AttrValue::U64(1))]);
+
+        t.set_log_level(Level::Error);
+        t.log(Level::Warn, "t", "now filtered", vec![]);
+        assert_eq!(ring.len(), 2);
+        t.set_log_level(Level::Debug);
+        assert!(t.log_enabled(Level::Debug));
+
+        // Disabled handles stay inert.
+        let d = TelemetryHandle::disabled();
+        d.add_log_sink(ring.clone() as _);
+        d.log(Level::Error, "t", "nope", vec![]);
+        assert!(!d.log_enabled(Level::Error));
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn log_sinks_are_shared_across_clones() {
+        use crate::log::MemoryLogSink;
+
+        let ring = Arc::new(MemoryLogSink::new());
+        let t = TelemetryHandle::enabled();
+        let u = t.clone();
+        t.add_log_sink(ring.clone() as _);
+        u.log(Level::Info, "t", "via clone", vec![]);
+        assert_eq!(ring.len(), 1, "clone shares the installed sinks");
     }
 
     #[test]

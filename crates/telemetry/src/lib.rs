@@ -30,6 +30,12 @@
 //! * [`Sink`] — a pluggable event stream: [`MemorySink`] for tests,
 //!   [`JsonLinesSink`] for stderr tracing, [`NullSink`] when only the
 //!   aggregated registry matters.
+//! * Structured logs — [`TelemetryHandle::log`] emits leveled
+//!   [`LogRecord`]s (same `'static`-keyed [`AttrValue`] fields as span
+//!   attributes, timestamped on the handle's clock) to pluggable
+//!   [`LogSink`]s: the ring-buffered [`MemoryLogSink`] for tests and the
+//!   daemon's `Tail`/flight-recorder surface, [`WriterLogSink`] for
+//!   stderr in text or JSON-lines form.
 //! * [`Snapshot`] — a point-in-time copy of the registry, exportable as
 //!   Prometheus text ([`Snapshot::to_prometheus_text`]) or JSON
 //!   ([`Snapshot::to_json`]).
@@ -67,6 +73,7 @@ mod export;
 pub mod global;
 mod handle;
 pub mod json;
+mod log;
 mod metrics;
 mod sink;
 mod trace;
@@ -74,6 +81,10 @@ mod trace;
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use export::{HistogramSummary, Snapshot};
 pub use handle::{Span, TelemetryHandle};
+pub use log::{
+    Level, LogFormat, LogRecord, LogSink, MemoryLogSink, NullLogSink, WriterLogSink,
+    DEFAULT_LOG_RING,
+};
 pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
 pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
 pub use trace::{chrome_trace, AttrValue, Attrs, SpanContext, SpanId, TraceId};

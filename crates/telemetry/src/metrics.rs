@@ -56,6 +56,15 @@ pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of bucket `i`.
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: u64) {
@@ -87,24 +96,50 @@ impl Histogram {
         (self.count() > 0).then_some(self.max.load(Ordering::Relaxed))
     }
 
-    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), estimated as the upper bound of
-    /// the bucket containing the target rank and clamped to the observed
-    /// `[min, max]` range. Returns `None` before the first observation.
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), estimated by rank
+    /// interpolation inside the bucket containing the target rank, with
+    /// the bucket's bounds first clamped to the observed `[min, max]`
+    /// range. Returns `None` before the first observation.
+    ///
+    /// The clamp-then-interpolate order matters: a 2-observation
+    /// histogram whose values share one power-of-two bucket used to
+    /// report p50 == max (the bucket's upper bound clamped to max);
+    /// interpolating rank 1-of-2 across the clamped `[min, max]` span
+    /// returns their midpoint instead — never above the mean for n = 2.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
             return None;
         }
         let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if target == count {
+            // The top rank is the largest observation — exact, so skip
+            // interpolation (which could round it down by one step).
+            return self.max();
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
         let mut cumulative = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cumulative += b.load(Ordering::Relaxed);
-            if cumulative >= target {
-                let bound = bucket_upper_bound(i);
-                let min = self.min.load(Ordering::Relaxed);
-                let max = self.max.load(Ordering::Relaxed);
-                return Some(bound.clamp(min, max));
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
             }
+            if cumulative + n >= target {
+                let lo = bucket_lower_bound(i).max(min);
+                let hi = bucket_upper_bound(i).min(max);
+                if hi <= lo {
+                    return Some(lo);
+                }
+                // `pos` is the target's 1-based rank within this bucket;
+                // u128 keeps `width * pos` overflow-free for the full
+                // u64 value range.
+                let pos = target - cumulative;
+                let width = (hi - lo) as u128;
+                let value = lo as u128 + width * pos as u128 / n as u128;
+                return Some(value as u64);
+            }
+            cumulative += n;
         }
         self.max()
     }
@@ -274,9 +309,55 @@ mod tests {
         assert!((32..=63).contains(&p50), "p50 {p50}");
         let p90 = h.quantile(0.9).unwrap();
         assert!((64..=100).contains(&p90), "p90 {p90}");
-        assert_eq!(h.quantile(0.99), Some(100), "p99 clamps to max");
-        assert_eq!(h.quantile(1.0), Some(100));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p90..=100).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Some(100), "q=1 is exactly max");
         assert_eq!(h.quantile(0.0), Some(1), "q=0 clamps to min");
+    }
+
+    #[test]
+    fn small_n_quantiles_interpolate_instead_of_reporting_max() {
+        // Regression for the BENCH_search.json skew: two same-bucket
+        // observations (these are the actual nanosecond values from the
+        // skewed bench run, both in bucket [2^22, 2^23 - 1]) reported
+        // p50 == max. Rank 1-of-2 must interpolate to the midpoint.
+        let h = Histogram::default();
+        h.observe(5_155_578);
+        h.observe(5_369_210);
+        let mean = (5_155_578 + 5_369_210) / 2;
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= mean, "p50 {p50} above mean {mean}");
+        assert!(p50 >= 5_155_578, "p50 {p50} below min");
+        assert!(p50 < 5_369_210, "p50 {p50} still pinned to max");
+        assert_eq!(p50, mean, "rank 1 of 2 lands on the exact midpoint");
+        // The top rank stays exact.
+        assert_eq!(h.quantile(0.99), Some(5_369_210));
+        assert_eq!(h.quantile(1.0), Some(5_369_210));
+
+        // Small n generally: quantiles stay inside [min, max], are
+        // monotone in q, and p50 no longer saturates at max.
+        let h = Histogram::default();
+        for v in [40u64, 50, 60] {
+            h.observe(v);
+        }
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((40..=60).contains(&v), "q={q} escaped [min,max]: {v}");
+            assert!(v >= prev, "quantiles must be monotone in q");
+            prev = v;
+        }
+        assert!(h.quantile(0.5).unwrap() < 60, "p50 of 3 must be below max");
+    }
+
+    #[test]
+    fn huge_value_quantiles_do_not_overflow() {
+        let h = Histogram::default();
+        h.observe(u64::MAX - 1);
+        h.observe(u64::MAX);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= u64::MAX - 1);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -140,4 +140,104 @@ wait "$slicerd_pid"
 slicerd_pid=""
 echo "slicerd smoke OK"
 
+echo "==> observability smoke (metrics scrape + tail + crash flight recorder)"
+# Boot a daemon, drive traffic, scrape the Metrics surface and validate
+# both exports (the CLI runs the in-crate RFC 8259 parser over the JSON
+# and shape-checks the Prometheus text), read the log ring via tail, then
+# SIGKILL the daemon mid-ingest and require a checksum-valid flight
+# recorder segment on disk naming the in-flight request.
+obs_tmp="$(mktemp -d)"
+obs_pid=""
+cleanup_obs() {
+  if [ -n "$obs_pid" ]; then kill -9 "$obs_pid" 2>/dev/null || true; fi
+  rm -rf "$obs_tmp"
+}
+trap 'cleanup_obs; cleanup_smoke; rm -rf "$bench_tmp"' EXIT
+osock="$obs_tmp/slicerd.sock"
+ocli() { ./target/release/slicer-cli --connect "unix://$osock" "$@"; }
+owait_ready() {
+  for _ in $(seq 1 200); do
+    if ocli stat >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  echo "observability smoke FAILED: daemon never became reachable" >&2
+  exit 1
+}
+
+./target/release/slicerd --listen "unix://$osock" --data "$obs_tmp/data" \
+  --seed 11 --bits 8 >/dev/null 2>&1 &
+obs_pid=$!
+owait_ready
+ocli ingest 1:10 2:20 3:30 >/dev/null
+ocli search lt 25 >/dev/null
+
+ocli metrics | grep -q "slicer_rpc_search_ns" || {
+  echo "observability smoke FAILED: search histogram missing from scrape" >&2
+  exit 1
+}
+check_out="$(ocli metrics --check)" || {
+  echo "observability smoke FAILED: metrics --check rejected an export" >&2
+  echo "$check_out" >&2
+  exit 1
+}
+grep -q "metrics-check json=ok" <<<"$check_out" || {
+  echo "observability smoke FAILED: JSON export did not validate" >&2
+  exit 1
+}
+grep -q "metrics-check prometheus=ok" <<<"$check_out" || {
+  echo "observability smoke FAILED: Prometheus export did not validate" >&2
+  exit 1
+}
+ocli tail 50 | grep -q '"target":"slicerd.boot"' || {
+  echo "observability smoke FAILED: boot record missing from tail" >&2
+  exit 1
+}
+
+# kill -9 mid-ingest. The recorder persists an in-flight entry at request
+# start (atomic tmp+rename, so concurrent reads always see a whole
+# segment), so the script polls the on-disk recording and pulls the
+# trigger the moment the ingest shows up mid-dispatch. A large batch
+# keeps the request in flight for hundreds of milliseconds — far wider
+# than the poll interval — but retry with a bigger one just in case.
+in_flight_ok=""
+base_id=1000
+for n in 2700 8000; do
+  batch=""
+  for i in $(seq "$base_id" $((base_id + n))); do
+    batch="$batch $i:$((i % 256))"
+  done
+  base_id=$((base_id + n + 1))
+  # shellcheck disable=SC2086
+  ocli ingest $batch >/dev/null 2>&1 &
+  ingest_pid=$!
+  for _ in $(seq 1 400); do
+    # The decoder exits 1 when something is in flight; under pipefail
+    # that would mask grep's verdict, so fold it to 0 inside the pipe.
+    if { ./target/release/slicer-cli flightrec "$obs_tmp/data/flightrec.slc" 2>/dev/null || true; } \
+      | grep -q "kind=ingest .*outcome=in-flight"; then
+      break
+    fi
+    sleep 0.01
+  done
+  kill -9 "$obs_pid" 2>/dev/null || true
+  wait "$obs_pid" 2>/dev/null || true
+  wait "$ingest_pid" 2>/dev/null || true
+  obs_pid=""
+  # Exit 1 here means "in-flight request found" — exactly what we want.
+  rec_out="$(./target/release/slicer-cli flightrec "$obs_tmp/data/flightrec.slc")" || true
+  if grep -q "kind=ingest .*outcome=in-flight" <<<"$rec_out"; then
+    in_flight_ok=yes
+    break
+  fi
+  ./target/release/slicerd --listen "unix://$osock" --data "$obs_tmp/data" >/dev/null 2>&1 &
+  obs_pid=$!
+  owait_ready
+done
+if [ -z "$in_flight_ok" ]; then
+  echo "observability smoke FAILED: no in-flight ingest in the flight recording" >&2
+  echo "$rec_out" >&2
+  exit 1
+fi
+echo "observability smoke OK"
+
 echo "CI OK"
