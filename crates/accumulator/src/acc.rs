@@ -13,10 +13,13 @@ use slicer_bignum::BigUint;
 ///
 /// ```
 /// use slicer_accumulator::{hash_to_prime, Accumulator, RsaParams};
+/// # fn main() -> Result<(), slicer_accumulator::AccumulatorError> {
 /// let params = RsaParams::fixed_512();
 /// let mut acc = Accumulator::new(&params);
-/// acc.add(&hash_to_prime(b"state-1", 128));
-/// acc.add(&hash_to_prime(b"state-2", 128));
+/// acc.add(&hash_to_prime(b"state-1", 128)?);
+/// acc.add(&hash_to_prime(b"state-2", 128)?);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Accumulator<'a> {
@@ -95,7 +98,7 @@ mod tests {
 
     fn primes(n: u32) -> Vec<BigUint> {
         (0..n)
-            .map(|i| hash_to_prime(&i.to_be_bytes(), 64))
+            .map(|i| hash_to_prime(&i.to_be_bytes(), 64).expect("width ok"))
             .collect()
     }
 

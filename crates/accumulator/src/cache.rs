@@ -152,7 +152,9 @@ mod tests {
     use crate::{hash_to_prime, Accumulator};
 
     fn primes(range: std::ops::Range<u32>) -> Vec<BigUint> {
-        range.map(|i| hash_to_prime(&i.to_be_bytes(), 64)).collect()
+        range
+            .map(|i| hash_to_prime(&i.to_be_bytes(), 64).expect("width ok"))
+            .collect()
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! `H_prime`: deterministic hash-to-prime (Barić–Pfitzmann prime
 //! representatives).
 
+use crate::error::AccumulatorError;
 use slicer_bignum::{BigUint, SMALL_PRIMES};
 use slicer_crypto::sha256;
 use std::sync::OnceLock;
@@ -88,22 +89,26 @@ pub const DEFAULT_PRIME_BITS: u32 = 128;
 /// Algorithm 5 and must land on the same prime as the data owner did in
 /// Algorithm 1.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bits < 16` or `bits > 512`.
-pub fn hash_to_prime(data: &[u8], bits: u32) -> BigUint {
-    hash_to_prime_counted(data, bits).0
+/// Returns [`AccumulatorError::UnsupportedPrimeBits`] if `bits < 16` or
+/// `bits > 512`.
+pub fn hash_to_prime(data: &[u8], bits: u32) -> Result<BigUint, AccumulatorError> {
+    Ok(hash_to_prime_counted(data, bits)?.0)
 }
 
 /// [`hash_to_prime`] that also reports how many candidates were examined —
 /// the blockchain gas meter charges per candidate (trial division) plus the
 /// Miller–Rabin rounds on survivors.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bits < 16` or `bits > 512`.
-pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> (BigUint, u64) {
-    assert!((16..=512).contains(&bits), "unsupported prime size {bits}");
+/// Returns [`AccumulatorError::UnsupportedPrimeBits`] if `bits < 16` or
+/// `bits > 512`.
+pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> Result<(BigUint, u64), AccumulatorError> {
+    if !(16..=512).contains(&bits) {
+        return Err(AccumulatorError::UnsupportedPrimeBits(bits));
+    }
     // Expand the digest to cover up to 512 bits of candidate material.
     let d1 = sha256(data);
     let mut wide = Vec::with_capacity(64);
@@ -114,7 +119,8 @@ pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> (BigUint, u64) {
     wide.extend_from_slice(&sha256(&tagged));
 
     let nbytes = bits.div_ceil(8) as usize;
-    let mut cand = BigUint::from_bytes_be(&wide[..nbytes]);
+    wide.truncate(nbytes);
+    let mut cand = BigUint::from_bytes_be(&wide);
     // Trim to exactly `bits` bits, force the top bit (exact width) and
     // low bit (odd).
     let excess = (nbytes as u32 * 8).saturating_sub(bits);
@@ -136,10 +142,9 @@ pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> (BigUint, u64) {
             // k = (p - cand mod p) * inv(2) mod p, inv(2) = (p + 1) / 2.
             let r = mod_sieve(&cand, sp);
             let k0 = if r == 0 { 0 } else { (sp.p - r) as u32 };
-            let mut k = m32(k0 * sp.inv2, sp) as usize;
-            while k < SIEVE_WINDOW {
-                composite[k] = true;
-                k += sp.p as usize;
+            let k = m32(k0 * sp.inv2, sp) as usize;
+            for slot in composite.iter_mut().skip(k).step_by(sp.p as usize) {
+                *slot = true;
             }
         }
         // Overflow past the requested width is astronomically unlikely
@@ -159,12 +164,12 @@ pub fn hash_to_prime_counted(data: &[u8], bits: u32) -> (BigUint, u64) {
                     continue 'windows;
                 }
                 if !marked && c.is_prime_bpsw_presieved() {
-                    return (c, tried);
+                    return Ok((c, tried));
                 }
             } else if !marked {
                 let c = &cand + &BigUint::from(2 * k as u64);
                 if c.is_prime_bpsw_presieved() {
-                    return (c, tried);
+                    return Ok((c, tried));
                 }
             }
         }
@@ -179,7 +184,7 @@ mod tests {
     #[test]
     fn output_is_prime_and_exact_width() {
         for i in 0..20u32 {
-            let p = hash_to_prime(&i.to_be_bytes(), 128);
+            let p = hash_to_prime(&i.to_be_bytes(), 128).expect("width ok");
             assert!(p.is_probable_prime(8));
             assert_eq!(p.bit_len(), 128);
         }
@@ -187,25 +192,37 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(hash_to_prime(b"x", 128), hash_to_prime(b"x", 128));
+        assert_eq!(
+            hash_to_prime(b"x", 128).unwrap(),
+            hash_to_prime(b"x", 128).unwrap()
+        );
     }
 
     #[test]
     fn distinct_inputs_distinct_primes() {
-        assert_ne!(hash_to_prime(b"a", 128), hash_to_prime(b"b", 128));
+        assert_ne!(
+            hash_to_prime(b"a", 128).unwrap(),
+            hash_to_prime(b"b", 128).unwrap()
+        );
     }
 
     #[test]
     fn width_parameter_respected() {
         for bits in [64u32, 96, 128, 256] {
-            assert_eq!(hash_to_prime(b"w", bits).bit_len(), bits as u64);
+            assert_eq!(hash_to_prime(b"w", bits).unwrap().bit_len(), bits as u64);
         }
     }
 
     #[test]
-    #[should_panic(expected = "unsupported prime size")]
-    fn tiny_width_rejected() {
-        hash_to_prime(b"x", 8);
+    fn out_of_range_widths_rejected() {
+        assert_eq!(
+            hash_to_prime(b"x", 8),
+            Err(AccumulatorError::UnsupportedPrimeBits(8))
+        );
+        assert_eq!(
+            hash_to_prime(b"x", 513),
+            Err(AccumulatorError::UnsupportedPrimeBits(513))
+        );
     }
 
     /// The pre-sieve reference: test candidates one at a time with the
@@ -244,7 +261,7 @@ mod tests {
         for bits in [64u32, 128] {
             for i in 0..32u32 {
                 let data = [b"equiv".as_slice(), &i.to_be_bytes()].concat();
-                let (prime, count) = hash_to_prime_counted(&data, bits);
+                let (prime, count) = hash_to_prime_counted(&data, bits).expect("width ok");
                 let (want_prime, want_count) = naive_reference(&data, bits);
                 assert_eq!(prime, want_prime, "prime drift at {bits}/{i}");
                 assert_eq!(count, want_count, "gas-visible count drift at {bits}/{i}");
@@ -255,7 +272,7 @@ mod tests {
     #[test]
     fn mod_sieve_agrees_with_div_rem() {
         for i in 0..50u32 {
-            let v = hash_to_prime(&i.to_be_bytes(), 128);
+            let v = hash_to_prime(&i.to_be_bytes(), 128).expect("width ok");
             for sp in sieve_table() {
                 assert_eq!(mod_sieve(&v, sp), v.div_rem_limb(sp.p).1, "p={}", sp.p);
             }

@@ -29,12 +29,17 @@
 //! ```
 //! use slicer_accumulator::{hash_to_prime, Accumulator, RsaParams};
 //!
+//! # fn main() -> Result<(), slicer_accumulator::AccumulatorError> {
 //! let params = RsaParams::fixed_512();
-//! let primes: Vec<_> = (0u32..4).map(|i| hash_to_prime(&i.to_be_bytes(), 128)).collect();
+//! let primes = (0u32..4)
+//!     .map(|i| hash_to_prime(&i.to_be_bytes(), 128))
+//!     .collect::<Result<Vec<_>, _>>()?;
 //! let acc = Accumulator::over(&params, &primes);
 //!
-//! let w = slicer_accumulator::witness::membership_witness(&params, &primes, 2);
+//! let w = slicer_accumulator::witness::membership_witness(&params, &primes, 2)?;
 //! assert!(acc.verify(&primes[2], &w));
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,6 +47,7 @@
 
 mod acc;
 mod cache;
+mod error;
 mod hprime;
 pub mod merkle;
 pub mod nonmembership;
@@ -50,6 +56,7 @@ pub mod witness;
 
 pub use acc::Accumulator;
 pub use cache::{CacheError, WitnessCache};
+pub use error::AccumulatorError;
 pub use hprime::{hash_to_prime, hash_to_prime_counted, DEFAULT_PRIME_BITS};
 pub use nonmembership::{nonmembership_witness, verify_nonmembership, NonMembershipWitness};
 pub use params::RsaParams;

@@ -14,6 +14,7 @@
 //! The `ads_ablation` benchmark and the unit tests below quantify the
 //! trade-off.
 
+use crate::error::AccumulatorError;
 use slicer_crypto::sha256;
 
 /// Domain-separation prefixes preventing leaf/node second-preimage splices.
@@ -26,6 +27,8 @@ const NODE_TAG: u8 = 0x01;
 pub struct MerkleTree {
     /// `levels[0]` = leaf digests, last level = root (singleton).
     levels: Vec<Vec<[u8; 32]>>,
+    /// The root digest, cached at build time (the last level's only entry).
+    root: [u8; 32],
 }
 
 /// A membership proof: the leaf index plus the sibling path.
@@ -63,39 +66,50 @@ fn node_digest(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
 impl MerkleTree {
     /// Builds a tree over the given leaves.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty leaf set (an empty ADS commits to nothing; use a
-    /// sentinel leaf if needed).
-    pub fn build<D: AsRef<[u8]>>(leaves: &[D]) -> Self {
-        assert!(
-            !leaves.is_empty(),
-            "cannot build a Merkle tree over nothing"
-        );
+    /// Returns [`AccumulatorError::EmptyTree`] on an empty leaf set (an
+    /// empty ADS commits to nothing; use a sentinel leaf if needed).
+    pub fn build<D: AsRef<[u8]>>(leaves: &[D]) -> Result<Self, AccumulatorError> {
+        if leaves.is_empty() {
+            return Err(AccumulatorError::EmptyTree);
+        }
         let mut levels = vec![leaves
             .iter()
             .map(|l| leaf_digest(l.as_ref()))
             .collect::<Vec<_>>()];
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
+        loop {
+            let prev = match levels.last() {
+                Some(level) if level.len() > 1 => level,
+                _ => break,
+            };
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
-                let right = pair.get(1).unwrap_or(&pair[0]);
-                next.push(node_digest(&pair[0], right));
+                if let Some(left) = pair.first() {
+                    let right = pair.get(1).unwrap_or(left);
+                    next.push(node_digest(left, right));
+                }
             }
             levels.push(next);
         }
-        MerkleTree { levels }
+        // The loop above terminates with a singleton top level; a missing
+        // root can only mean the (already rejected) empty leaf set.
+        let root = levels
+            .last()
+            .and_then(|level| level.first())
+            .copied()
+            .ok_or(AccumulatorError::EmptyTree)?;
+        Ok(MerkleTree { levels, root })
     }
 
     /// The root digest (what would live on chain).
     pub fn root(&self) -> [u8; 32] {
-        self.levels.last().expect("non-empty")[0]
+        self.root
     }
 
     /// Number of leaves.
     pub fn len(&self) -> usize {
-        self.levels[0].len()
+        self.levels.first().map_or(0, |leaves| leaves.len())
     }
 
     /// True when the tree has exactly one leaf.
@@ -105,23 +119,36 @@ impl MerkleTree {
 
     /// Produces a membership proof for leaf `index`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of range.
-    pub fn prove(&self, index: usize) -> MerkleProof {
-        assert!(index < self.len(), "leaf index out of range");
-        let mut siblings = Vec::with_capacity(self.levels.len() - 1);
+    /// Returns [`AccumulatorError::LeafOutOfRange`] if `index` is out of
+    /// range.
+    pub fn prove(&self, index: usize) -> Result<MerkleProof, AccumulatorError> {
+        if index >= self.len() {
+            return Err(AccumulatorError::LeafOutOfRange {
+                index,
+                len: self.len(),
+            });
+        }
+        let mut siblings = Vec::with_capacity(self.levels.len().saturating_sub(1));
         let mut i = index;
-        for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
-                *level.get(i + 1).unwrap_or(&level[i])
+        let inner = self.levels.len().saturating_sub(1);
+        for level in self.levels.iter().take(inner) {
+            // Even position: pair with the right neighbour (or itself under
+            // duplicate-last-leaf padding). Odd position: pair leftward.
+            let pair = if i % 2 == 0 {
+                level.get(i + 1).or_else(|| level.get(i))
             } else {
-                level[i - 1]
+                level.get(i - 1)
             };
+            let sibling = *pair.ok_or(AccumulatorError::LeafOutOfRange {
+                index,
+                len: self.len(),
+            })?;
             siblings.push(sibling);
             i /= 2;
         }
-        MerkleProof { index, siblings }
+        Ok(MerkleProof { index, siblings })
     }
 
     /// Verifies a proof against a root (static: the verifier holds only
@@ -150,12 +177,27 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_out_of_range_are_typed_errors() {
+        use crate::AccumulatorError;
+        let none: &[&[u8]] = &[];
+        assert!(matches!(
+            MerkleTree::build(none),
+            Err(AccumulatorError::EmptyTree)
+        ));
+        let tree = MerkleTree::build(&leaves(4)).unwrap();
+        assert_eq!(
+            tree.prove(4),
+            Err(AccumulatorError::LeafOutOfRange { index: 4, len: 4 })
+        );
+    }
+
+    #[test]
     fn every_leaf_proves_and_verifies() {
         for n in [1usize, 2, 3, 7, 8, 9, 33] {
             let data = leaves(n);
-            let tree = MerkleTree::build(&data);
+            let tree = MerkleTree::build(&data).expect("non-empty");
             for (i, leaf) in data.iter().enumerate() {
-                let proof = tree.prove(i);
+                let proof = tree.prove(i).expect("in range");
                 assert!(
                     MerkleTree::verify(&tree.root(), leaf, &proof),
                     "n={n} leaf={i}"
@@ -167,8 +209,8 @@ mod tests {
     #[test]
     fn wrong_leaf_or_index_fails() {
         let data = leaves(10);
-        let tree = MerkleTree::build(&data);
-        let proof = tree.prove(3);
+        let tree = MerkleTree::build(&data).expect("non-empty");
+        let proof = tree.prove(3).expect("in range");
         assert!(!MerkleTree::verify(&tree.root(), b"leaf-4", &proof));
         let mut wrong_pos = proof.clone();
         wrong_pos.index = 4;
@@ -178,18 +220,18 @@ mod tests {
     #[test]
     fn tampered_sibling_fails() {
         let data = leaves(16);
-        let tree = MerkleTree::build(&data);
-        let mut proof = tree.prove(5);
+        let tree = MerkleTree::build(&data).expect("non-empty");
+        let mut proof = tree.prove(5).expect("in range");
         proof.siblings[2][0] ^= 1;
         assert!(!MerkleTree::verify(&tree.root(), b"leaf-5", &proof));
     }
 
     #[test]
     fn root_depends_on_every_leaf() {
-        let a = MerkleTree::build(&leaves(8));
+        let a = MerkleTree::build(&leaves(8)).expect("non-empty");
         let mut modified = leaves(8);
         modified[7] = b"changed".to_vec();
-        let b = MerkleTree::build(&modified);
+        let b = MerkleTree::build(&modified).expect("non-empty");
         assert_ne!(a.root(), b.root());
     }
 
@@ -198,8 +240,8 @@ mod tests {
         // The paper's claim: accumulator witnesses are constant-size (64 B
         // at our 512-bit modulus), Merkle proofs grow with log n and leak
         // the position.
-        let small = MerkleTree::build(&leaves(16)).prove(0);
-        let large = MerkleTree::build(&leaves(4096)).prove(0);
+        let small = MerkleTree::build(&leaves(16)).unwrap().prove(0).unwrap();
+        let large = MerkleTree::build(&leaves(4096)).unwrap().prove(0).unwrap();
         assert_eq!(small.siblings.len(), 4);
         assert_eq!(large.siblings.len(), 12);
         assert!(
@@ -213,8 +255,8 @@ mod tests {
         // n=3 pads by duplicating the last leaf; a proof for index 2 must
         // not also verify as index 3.
         let data = leaves(3);
-        let tree = MerkleTree::build(&data);
-        let proof = tree.prove(2);
+        let tree = MerkleTree::build(&data).expect("non-empty");
+        let proof = tree.prove(2).expect("in range");
         assert!(MerkleTree::verify(&tree.root(), b"leaf-2", &proof));
         let mut forged = proof;
         forged.index = 3;

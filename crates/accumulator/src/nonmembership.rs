@@ -67,12 +67,12 @@ pub fn verify_nonmembership(
 /// Balanced product tree: multiplies `n` numbers in `O(M(total) log n)`
 /// instead of the quadratic left fold.
 pub fn product_tree(factors: &[BigUint]) -> BigUint {
-    match factors.len() {
-        0 => BigUint::one(),
-        1 => factors[0].clone(),
+    match factors {
+        [] => BigUint::one(),
+        [single] => single.clone(),
         _ => {
-            let mid = factors.len() / 2;
-            &product_tree(&factors[..mid]) * &product_tree(&factors[mid..])
+            let (left, right) = factors.split_at(factors.len() / 2);
+            &product_tree(left) * &product_tree(right)
         }
     }
 }
@@ -84,7 +84,7 @@ mod tests {
 
     fn primes(n: u32) -> Vec<BigUint> {
         (0..n)
-            .map(|i| hash_to_prime(&i.to_be_bytes(), 64))
+            .map(|i| hash_to_prime(&i.to_be_bytes(), 64).expect("width ok"))
             .collect()
     }
 
@@ -93,7 +93,7 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(12);
         let acc = Accumulator::over(&params, &ps);
-        let outsider = hash_to_prime(b"never accumulated", 64);
+        let outsider = hash_to_prime(b"never accumulated", 64).expect("width ok");
         let w = nonmembership_witness(&params, &ps, &outsider).expect("outsider");
         assert!(verify_nonmembership(&params, &outsider, &w, acc.value()));
     }
@@ -110,7 +110,7 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(8);
         let acc = Accumulator::over(&params, &ps);
-        let outsider = hash_to_prime(b"x", 64);
+        let outsider = hash_to_prime(b"x", 64).expect("width ok");
         let w = nonmembership_witness(&params, &ps, &outsider).expect("outsider");
         // The witness proves absence of `outsider`, not of a member.
         assert!(!verify_nonmembership(&params, &ps[0], &w, acc.value()));
@@ -120,7 +120,7 @@ mod tests {
     fn stale_witness_fails_after_insertion() {
         let params = RsaParams::fixed_512();
         let mut ps = primes(8);
-        let newcomer = hash_to_prime(b"late arrival", 64);
+        let newcomer = hash_to_prime(b"late arrival", 64).expect("width ok");
         let w = nonmembership_witness(&params, &ps, &newcomer).expect("absent");
         // The element is later accumulated: the old absence proof dies.
         ps.push(newcomer.clone());
@@ -132,7 +132,7 @@ mod tests {
     fn empty_set_proves_everything_absent() {
         let params = RsaParams::fixed_512();
         let acc = Accumulator::new(&params);
-        let x = hash_to_prime(b"anything", 64);
+        let x = hash_to_prime(b"anything", 64).expect("width ok");
         let w = nonmembership_witness(&params, &[], &x).expect("empty set");
         assert!(verify_nonmembership(&params, &x, &w, acc.value()));
     }

@@ -1,5 +1,6 @@
 //! RSA accumulator public parameters (`Setup(1^λ)`).
 
+use crate::error::AccumulatorError;
 use slicer_bignum::{gen_safe_prime, random_below, BigUint, MontgomeryCtx};
 use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use slicer_crypto::Rng;
@@ -37,13 +38,8 @@ impl Decode for RsaParams {
         let generator = BigUint::decode(reader)?;
         // Rebuild the Montgomery context eagerly so decoded params are
         // immediately usable; an even modulus means corrupt input.
-        let ctx = MontgomeryCtx::new(&modulus)
-            .ok_or_else(|| CodecError::msg("RsaParams modulus must be odd and > 1"))?;
-        Ok(RsaParams {
-            modulus,
-            generator,
-            ctx: Some(ctx),
-        })
+        RsaParams::try_from_parts(modulus, generator)
+            .map_err(|_| CodecError::msg("RsaParams modulus must be odd and > 1"))
     }
 }
 
@@ -57,15 +53,30 @@ impl Eq for RsaParams {}
 impl RsaParams {
     /// Builds parameters from a known modulus and generator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the modulus is even (RSA moduli are odd by construction).
-    pub fn from_parts(modulus: BigUint, generator: BigUint) -> Self {
-        let ctx = MontgomeryCtx::new(&modulus).expect("RSA modulus must be odd");
-        RsaParams {
+    /// Returns [`AccumulatorError::BadModulus`] if the modulus is even or
+    /// ≤ 1 (RSA moduli are odd by construction).
+    pub fn try_from_parts(modulus: BigUint, generator: BigUint) -> Result<Self, AccumulatorError> {
+        let ctx = MontgomeryCtx::new(&modulus).ok_or(AccumulatorError::BadModulus)?;
+        Ok(RsaParams {
             modulus,
             generator,
             ctx: Some(ctx),
+        })
+    }
+
+    /// Decodes a baked-in modulus with `g = 4 = 2²` (a quadratic residue
+    /// for any odd modulus). Total by construction: if the constant were
+    /// ever corrupted the fallback is a tiny odd modulus, a state the
+    /// `fixed_params_shape` tests pin as unreachable.
+    fn baked(hex: &str) -> Self {
+        let modulus = BigUint::from_hex(hex).unwrap_or_else(|_| BigUint::from(15u64));
+        let ctx = MontgomeryCtx::new(&modulus);
+        RsaParams {
+            modulus,
+            generator: BigUint::from(4u64),
+            ctx,
         }
     }
 
@@ -73,30 +84,26 @@ impl RsaParams {
     ///
     /// `g = 4 = 2²` is a quadratic residue for any odd modulus.
     pub fn fixed_512() -> Self {
-        Self::from_parts(
-            BigUint::from_hex(N512_HEX).expect("valid baked-in hex"),
-            BigUint::from(4u64),
-        )
+        Self::baked(N512_HEX)
     }
 
     /// The baked-in 1024-bit parameters (higher security margin; 128-byte
     /// witnesses).
     pub fn fixed_1024() -> Self {
-        Self::from_parts(
-            BigUint::from_hex(N1024_HEX).expect("valid baked-in hex"),
-            BigUint::from(4u64),
-        )
+        Self::baked(N1024_HEX)
     }
 
     /// Fresh trusted setup: samples two `bits/2`-bit safe primes and a
     /// random quadratic-residue generator. The factors are dropped on
     /// return, so nobody (including the caller) retains the trapdoor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits < 32`.
-    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Self {
-        assert!(bits >= 32, "modulus below 32 bits is meaningless");
+    /// Returns [`AccumulatorError::ModulusTooSmall`] if `bits < 32`.
+    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Result<Self, AccumulatorError> {
+        if bits < 32 {
+            return Err(AccumulatorError::ModulusTooSmall(bits));
+        }
         let p = gen_safe_prime(bits / 2, rng);
         let q = loop {
             let q = gen_safe_prime(bits - bits / 2, rng);
@@ -113,7 +120,7 @@ impl RsaParams {
                 break g;
             }
         };
-        Self::from_parts(n, generator)
+        Self::try_from_parts(n, generator)
     }
 
     /// The modulus `n`.
@@ -131,31 +138,27 @@ impl RsaParams {
         self.modulus.bit_len().div_ceil(8) as usize
     }
 
-    /// Montgomery context for the modulus.
-    pub fn ctx(&self) -> &MontgomeryCtx {
-        // Every construction path — `from_parts`, the fixtures, `generate`
-        // and `Decode` — populates the context, so this cannot fail.
-        self.ctx.as_ref().expect("ctx populated on construction")
-    }
-
-    /// Rebuilds the Montgomery context if absent. Decoding already restores
-    /// it; this remains for callers that construct params by other means.
-    pub fn restore_ctx(&mut self) {
-        if self.ctx.is_none() {
-            self.ctx = Some(MontgomeryCtx::new(&self.modulus).expect("odd modulus"));
-        }
-    }
-
     /// `base^exp mod n` using the shared context.
     pub fn powmod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        self.ctx().modpow(base, exp)
+        match &self.ctx {
+            Some(ctx) => ctx.modpow(base, exp),
+            // Unreachable for params built by this module (every
+            // constructor validates the modulus); the plain modpow keeps
+            // the operation total regardless.
+            None => base.modpow(exp, &self.modulus),
+        }
     }
 
     /// `base^(∏ exps) mod n` with chunked exponent products — one window
     /// pass per few dozen primes instead of one `powmod` each. This is the
     /// inner loop of accumulation and the root-factor witness tree.
     pub fn powmod_product(&self, base: &BigUint, exps: &[BigUint]) -> BigUint {
-        self.ctx().modpow_product(base, exps)
+        match &self.ctx {
+            Some(ctx) => ctx.modpow_product(base, exps),
+            None => exps
+                .iter()
+                .fold(base.clone(), |acc, e| acc.modpow(e, &self.modulus)),
+        }
     }
 }
 
@@ -183,13 +186,27 @@ mod tests {
     #[test]
     fn generate_small_setup() {
         let mut rng = HmacDrbg::from_u64(5);
-        let p = RsaParams::generate(128, &mut rng);
+        let p = RsaParams::generate(128, &mut rng).expect("128 bits suffices");
         // Product of two 64-bit primes has 127 or 128 bits.
         assert!((127..=128).contains(&p.modulus().bit_len()));
         // Generator is a nontrivial residue.
         assert!(!p.generator().is_zero());
         assert!(!p.generator().is_one());
         assert!(p.generator() < p.modulus());
+    }
+
+    #[test]
+    fn tiny_setup_and_even_modulus_are_typed_errors() {
+        use crate::AccumulatorError;
+        let mut rng = HmacDrbg::from_u64(5);
+        assert_eq!(
+            RsaParams::generate(16, &mut rng).unwrap_err(),
+            AccumulatorError::ModulusTooSmall(16)
+        );
+        assert_eq!(
+            RsaParams::try_from_parts(BigUint::from(16u64), BigUint::from(4u64)).unwrap_err(),
+            AccumulatorError::BadModulus
+        );
     }
 
     #[test]

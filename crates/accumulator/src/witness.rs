@@ -14,6 +14,7 @@
 //!   witnesses for *every* member in `O(|X| log |X|)` exponentiations; used
 //!   by the cloud's witness cache ablation.
 
+use crate::error::AccumulatorError;
 use crate::params::RsaParams;
 use slicer_bignum::BigUint;
 use slicer_par::Pool;
@@ -24,11 +25,21 @@ const POOL_MIN_SUBTREE: usize = 64;
 /// Direct witness for `primes[target]`: folds every other prime into the
 /// exponent one at a time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `target >= primes.len()`.
-pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize) -> BigUint {
-    assert!(target < primes.len(), "target index out of range");
+/// Returns [`AccumulatorError::TargetOutOfRange`] if
+/// `target >= primes.len()`.
+pub fn membership_witness(
+    params: &RsaParams,
+    primes: &[BigUint],
+    target: usize,
+) -> Result<BigUint, AccumulatorError> {
+    if target >= primes.len() {
+        return Err(AccumulatorError::TargetOutOfRange {
+            index: target,
+            len: primes.len(),
+        });
+    }
     slicer_telemetry::global::count("accumulator.witness.direct", 1);
     let mut w = params.generator().clone();
     for (i, p) in primes.iter().enumerate() {
@@ -36,7 +47,7 @@ pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize)
             w = params.powmod(&w, p);
         }
     }
-    w
+    Ok(w)
 }
 
 /// Witnesses for a subset of members sharing one complement fold.
@@ -44,48 +55,72 @@ pub fn membership_witness(params: &RsaParams, primes: &[BigUint], target: usize)
 /// `targets` are indexes into `primes` (must be distinct). Returns one
 /// witness per target, in target order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any target index is out of range or duplicated.
-pub fn witness_batch(params: &RsaParams, primes: &[BigUint], targets: &[usize]) -> Vec<BigUint> {
+/// Returns [`AccumulatorError::TargetOutOfRange`] or
+/// [`AccumulatorError::DuplicateTarget`] on a malformed target list.
+pub fn witness_batch(
+    params: &RsaParams,
+    primes: &[BigUint],
+    targets: &[usize],
+) -> Result<Vec<BigUint>, AccumulatorError> {
     witness_batch_pooled(params, primes, targets, &Pool::single())
 }
 
 /// [`witness_batch`] with the root-factor tree fanned out over a
 /// deterministic pool: identical output at any worker count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any target index is out of range or duplicated.
+/// Returns [`AccumulatorError::TargetOutOfRange`] or
+/// [`AccumulatorError::DuplicateTarget`] on a malformed target list.
 pub fn witness_batch_pooled(
     params: &RsaParams,
     primes: &[BigUint],
     targets: &[usize],
     pool: &Pool,
-) -> Vec<BigUint> {
+) -> Result<Vec<BigUint>, AccumulatorError> {
     if targets.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut span = slicer_telemetry::global::span("accumulator.witness");
     span.attr("targets", targets.len());
     slicer_telemetry::global::count("accumulator.witness.batched", targets.len() as u64);
     let mut in_targets = vec![false; primes.len()];
     for &t in targets {
-        assert!(t < primes.len(), "target index out of range");
-        assert!(!in_targets[t], "duplicate target index {t}");
-        in_targets[t] = true;
+        let slot = in_targets
+            .get_mut(t)
+            .ok_or(AccumulatorError::TargetOutOfRange {
+                index: t,
+                len: primes.len(),
+            })?;
+        if *slot {
+            return Err(AccumulatorError::DuplicateTarget(t));
+        }
+        *slot = true;
     }
     // Fold the complement (all primes not being proven) once.
     let complement: Vec<BigUint> = primes
         .iter()
-        .enumerate()
-        .filter(|(i, _)| !in_targets[*i])
-        .map(|(_, p)| p.clone())
+        .zip(&in_targets)
+        .filter(|(_, proving)| !**proving)
+        .map(|(p, _)| p.clone())
         .collect();
     let base = params.powmod_product(params.generator(), &complement);
     // Distribute the target primes over each other with a root-factor tree.
-    let target_primes: Vec<BigUint> = targets.iter().map(|&t| primes[t].clone()).collect();
-    root_factor_pooled(params, &base, &target_primes, pool)
+    let target_primes: Vec<BigUint> = targets
+        .iter()
+        .map(|&t| {
+            primes
+                .get(t)
+                .cloned()
+                .ok_or(AccumulatorError::TargetOutOfRange {
+                    index: t,
+                    len: primes.len(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(root_factor_pooled(params, &base, &target_primes, pool))
 }
 
 /// Computes witnesses for every element of `primes` relative to the
@@ -171,7 +206,7 @@ mod tests {
 
     fn primes(n: u32) -> Vec<BigUint> {
         (0..n)
-            .map(|i| hash_to_prime(&i.to_be_bytes(), 64))
+            .map(|i| hash_to_prime(&i.to_be_bytes(), 64).expect("width ok"))
             .collect()
     }
 
@@ -181,7 +216,7 @@ mod tests {
         let ps = primes(8);
         let acc = Accumulator::over(&params, &ps);
         for t in 0..ps.len() {
-            let w = membership_witness(&params, &ps, t);
+            let w = membership_witness(&params, &ps, t).expect("in range");
             assert!(acc.verify(&ps[t], &w), "witness {t}");
         }
     }
@@ -191,7 +226,7 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(5);
         let acc = Accumulator::over(&params, &ps);
-        let w = membership_witness(&params, &ps, 0);
+        let w = membership_witness(&params, &ps, 0).expect("in range");
         assert!(!acc.verify(&ps[1], &w));
     }
 
@@ -200,9 +235,9 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(5);
         let acc = Accumulator::over(&params, &ps);
-        let outsider = hash_to_prime(b"not a member", 64);
+        let outsider = hash_to_prime(b"not a member", 64).expect("width ok");
         for t in 0..ps.len() {
-            let w = membership_witness(&params, &ps, t);
+            let w = membership_witness(&params, &ps, t).expect("in range");
             assert!(!acc.verify(&outsider, &w));
         }
     }
@@ -212,23 +247,40 @@ mod tests {
         let params = RsaParams::fixed_512();
         let ps = primes(10);
         let targets = [1usize, 4, 7, 9];
-        let batch = witness_batch(&params, &ps, &targets);
+        let batch = witness_batch(&params, &ps, &targets).expect("valid targets");
         for (w, &t) in batch.iter().zip(&targets) {
-            assert_eq!(w, &membership_witness(&params, &ps, t), "target {t}");
+            assert_eq!(
+                w,
+                &membership_witness(&params, &ps, t).expect("in range"),
+                "target {t}"
+            );
         }
     }
 
     #[test]
     fn batch_empty_targets() {
         let params = RsaParams::fixed_512();
-        assert!(witness_batch(&params, &primes(3), &[]).is_empty());
+        assert!(witness_batch(&params, &primes(3), &[])
+            .expect("empty")
+            .is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "duplicate target")]
-    fn batch_rejects_duplicates() {
+    fn malformed_targets_are_typed_errors() {
+        use crate::AccumulatorError;
         let params = RsaParams::fixed_512();
-        witness_batch(&params, &primes(3), &[1, 1]);
+        assert_eq!(
+            witness_batch(&params, &primes(3), &[1, 1]).unwrap_err(),
+            AccumulatorError::DuplicateTarget(1)
+        );
+        assert_eq!(
+            witness_batch(&params, &primes(3), &[5]).unwrap_err(),
+            AccumulatorError::TargetOutOfRange { index: 5, len: 3 }
+        );
+        assert_eq!(
+            membership_witness(&params, &primes(3), 3).unwrap_err(),
+            AccumulatorError::TargetOutOfRange { index: 3, len: 3 }
+        );
     }
 
     #[test]
@@ -253,15 +305,18 @@ mod tests {
             let params = RsaParams::fixed_512();
             let n = g.u64_in(2, 18) as usize;
             let ps: Vec<BigUint> = (0..n)
-                .map(|i| hash_to_prime(&[g.u8(), i as u8, 0x77], 64))
+                .map(|i| hash_to_prime(&[g.u8(), i as u8, 0x77], 64).expect("width ok"))
                 .collect();
             let mut targets: Vec<usize> = (0..n).filter(|_| g.u8() & 1 == 1).collect();
             if targets.is_empty() {
                 targets.push(g.u64_in(0, n as u64 - 1) as usize);
             }
-            let batch = witness_batch(&params, &ps, &targets);
+            let batch = witness_batch(&params, &ps, &targets).expect("valid targets");
             for (w, &t) in batch.iter().zip(&targets) {
-                prop_assert_eq!(w.clone(), membership_witness(&params, &ps, t));
+                prop_assert_eq!(
+                    w.clone(),
+                    membership_witness(&params, &ps, t).expect("in range")
+                );
             }
             Ok(())
         });
@@ -290,7 +345,7 @@ mod tests {
     fn single_member_witness_is_generator() {
         let params = RsaParams::fixed_512();
         let ps = primes(1);
-        let w = membership_witness(&params, &ps, 0);
+        let w = membership_witness(&params, &ps, 0).expect("in range");
         assert_eq!(&w, params.generator());
         let acc = Accumulator::over(&params, &ps);
         assert!(acc.verify(&ps[0], &w));

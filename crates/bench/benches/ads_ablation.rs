@@ -8,7 +8,7 @@ use slicer_testkit::bench::{black_box, Bench};
 
 fn primes(n: u32) -> Vec<BigUint> {
     (0..n)
-        .map(|i| hash_to_prime(&i.to_be_bytes(), 128))
+        .map(|i| hash_to_prime(&i.to_be_bytes(), 128).expect("width ok"))
         .collect()
 }
 
@@ -22,7 +22,7 @@ fn main() {
             black_box(Accumulator::over(&params, &ps));
         });
         group.run(&format!("witness_direct_x1/{q}"), || {
-            black_box(witness::membership_witness(&params, &ps, 0));
+            black_box(witness::membership_witness(&params, &ps, 0).expect("in range"));
         });
         // 16 slices of an order query: direct does 16 full folds, batched
         // shares the complement fold.
@@ -31,12 +31,12 @@ fn main() {
             black_box(
                 targets
                     .iter()
-                    .map(|&t| witness::membership_witness(&params, &ps, t))
+                    .map(|&t| witness::membership_witness(&params, &ps, t).expect("in range"))
                     .collect::<Vec<_>>(),
             );
         });
         group.run(&format!("witness_batched_x16/{q}"), || {
-            black_box(witness::witness_batch(&params, &ps, &targets));
+            black_box(witness::witness_batch(&params, &ps, &targets).expect("valid targets"));
         });
         group.run(&format!("root_factor_all/{q}"), || {
             black_box(witness::root_factor(&params, params.generator(), &ps));
@@ -48,7 +48,7 @@ fn main() {
         });
         {
             let extra: Vec<BigUint> = (10_000..10_016u32)
-                .map(|i| hash_to_prime(&i.to_be_bytes(), 128))
+                .map(|i| hash_to_prime(&i.to_be_bytes(), 128).expect("width ok"))
                 .collect();
             let cache = WitnessCache::build(&params, &ps);
             let mut full = ps.to_vec();
@@ -57,7 +57,7 @@ fn main() {
                 &format!("witness_cache_update16/{q}"),
                 || cache.clone(),
                 |mut c| {
-                    c.update(&params, &full);
+                    c.update(&params, &full).expect("consistent cache");
                     black_box(&c);
                 },
             );
@@ -65,7 +65,7 @@ fn main() {
 
         // Verification (the contract-side cost): constant regardless of q.
         let acc = Accumulator::over(&params, &ps);
-        let w = witness::membership_witness(&params, &ps, 0);
+        let w = witness::membership_witness(&params, &ps, 0).expect("in range");
         group.run(&format!("verify/{q}"), || {
             assert!(witness::verify_membership(&params, &ps[0], &w, acc.value()));
         });
@@ -75,13 +75,13 @@ fn main() {
         // and position leakage.
         let leaves: Vec<Vec<u8>> = ps.iter().map(|p| p.to_bytes_be()).collect();
         group.run(&format!("merkle_build/{q}"), || {
-            black_box(slicer_accumulator::merkle::MerkleTree::build(&leaves));
+            black_box(slicer_accumulator::merkle::MerkleTree::build(&leaves).expect("non-empty"));
         });
-        let tree = slicer_accumulator::merkle::MerkleTree::build(&leaves);
+        let tree = slicer_accumulator::merkle::MerkleTree::build(&leaves).expect("non-empty");
         group.run(&format!("merkle_prove/{q}"), || {
-            black_box(tree.prove(0));
+            black_box(tree.prove(0).expect("in range"));
         });
-        let proof = tree.prove(0);
+        let proof = tree.prove(0).expect("in range");
         group.run(&format!("merkle_verify/{q}"), || {
             assert!(slicer_accumulator::merkle::MerkleTree::verify(
                 &tree.root(),

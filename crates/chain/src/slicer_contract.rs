@@ -316,7 +316,8 @@ impl SlicerContract {
         let mut material = token.material();
         material.extend_from_slice(&h.to_bytes());
         ctx.charge_as(GasCategory::Hash, ctx.schedule().hash_cost(material.len()))?;
-        let (x, candidates) = hash_to_prime_counted(&material, self.prime_bits);
+        let (x, candidates) = hash_to_prime_counted(&material, self.prime_bits)
+            .map_err(|e| ContractError::Reverted(e.to_string()))?;
         // Charge the H_prime walk: trial division on every candidate, plus
         // Miller–Rabin only on trial-division survivors (~1 in 5 at 128
         // bits, almost all rejected by their first round) and the full

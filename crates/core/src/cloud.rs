@@ -177,7 +177,13 @@ impl CloudServer {
 
     /// Derives the prime representative a slice result must prove:
     /// `x = H_prime(t_j ‖ j ‖ G1 ‖ G2 ‖ H(er))`.
-    pub fn prime_for(&self, result: &SliceResult) -> slicer_bignum::BigUint {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlicerError::IndexCorruption`] if the configured prime
+    /// width is outside the supported range — misconfiguration, not a
+    /// property of the result.
+    pub fn prime_for(&self, result: &SliceResult) -> Result<slicer_bignum::BigUint, SlicerError> {
         let width = self.trapdoor_pk.trapdoor_bytes();
         let mut h = MsetHash::empty();
         for r in &result.er {
@@ -191,6 +197,7 @@ impl CloudServer {
         );
         material.extend_from_slice(&h.to_bytes());
         hash_to_prime(&material, self.config.prime_bits)
+            .map_err(|e| SlicerError::IndexCorruption(e.to_string()))
     }
 
     /// Generates verification objects for a batch of slice results
@@ -207,7 +214,11 @@ impl CloudServer {
         // Per-result prime derivation (set hash + H_prime) is independent:
         // fan it out over the pool. prime_for emits no telemetry, so the
         // transcript stays worker-count independent.
-        let xs: Vec<slicer_bignum::BigUint> = self.pool.run(results, |r| self.prime_for(r));
+        let xs: Vec<slicer_bignum::BigUint> = self
+            .pool
+            .run(results, |r| self.prime_for(r))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         let targets: Vec<usize> = xs
             .iter()
             .map(|x| {
@@ -218,11 +229,17 @@ impl CloudServer {
             .collect::<Result<_, _>>()?;
         let params = &self.config.accumulator;
         let elem = params.element_bytes();
+        let corrupt = |e: slicer_accumulator::AccumulatorError| {
+            SlicerError::IndexCorruption(format!("witness generation failed: {e}"))
+        };
         let witnesses = match self.strategy {
             WitnessStrategy::Direct => targets
                 .iter()
-                .map(|&t| witness::membership_witness(params, self.state.primes.as_slice(), t))
-                .collect::<Vec<_>>(),
+                .map(|&t| {
+                    witness::membership_witness(params, self.state.primes.as_slice(), t)
+                        .map_err(corrupt)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             WitnessStrategy::Batched => {
                 // Duplicate targets (same keyword twice in a query) are
                 // impossible: tokens within one query address distinct
@@ -233,6 +250,7 @@ impl CloudServer {
                     &targets,
                     &self.pool,
                 )
+                .map_err(corrupt)?
             }
             WitnessStrategy::Cached => {
                 // Bring the cache up to date with any primes ingested
@@ -423,7 +441,7 @@ mod tests {
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
-            let x = cloud.prime_for(result);
+            let x = cloud.prime_for(result).unwrap();
             let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
             assert!(acc.verify(&x, &w));
         }
@@ -461,7 +479,7 @@ mod tests {
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
-            let x = cloud.prime_for(result);
+            let x = cloud.prime_for(result).unwrap();
             let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
             assert!(acc.verify(&x, &w));
         }
@@ -476,7 +494,7 @@ mod tests {
         // over the canonical primes plus a phantom, so it claims to cover
         // more primes than the stored list holds.
         let mut over: Vec<slicer_bignum::BigUint> = cloud.state.primes.as_slice().to_vec();
-        over.push(hash_to_prime(b"phantom", cloud.config.prime_bits));
+        over.push(hash_to_prime(b"phantom", cloud.config.prime_bits).unwrap());
         cloud.witness_cache =
             slicer_accumulator::WitnessCache::build(&cloud.config.accumulator, &over);
         // prove() must degrade to a full cache rebuild, not panic, and
@@ -485,7 +503,7 @@ mod tests {
         let params = &owner.config().accumulator;
         let acc = Accumulator::from_value(params, owner.accumulator().clone());
         for (entry, result) in resp.entries.iter().zip(&resp.results) {
-            let x = cloud.prime_for(result);
+            let x = cloud.prime_for(result).unwrap();
             let w = slicer_bignum::BigUint::from_bytes_be(&entry.vo);
             assert!(acc.verify(&x, &w));
         }
@@ -500,7 +518,7 @@ mod tests {
         // Find the slice whose er changed and show its prime moved.
         for (h, t) in honest.results.iter().zip(&tampered.results) {
             if h.er != t.er {
-                assert_ne!(cloud.prime_for(h), cloud.prime_for(t));
+                assert_ne!(cloud.prime_for(h).unwrap(), cloud.prime_for(t).unwrap());
                 return;
             }
         }

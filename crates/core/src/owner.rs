@@ -255,7 +255,9 @@ impl DataOwner {
                 }
                 let mut material = out.state_key.clone();
                 material.extend_from_slice(&h.to_bytes());
-                Ok((h, hash_to_prime(&material, self.config.prime_bits)))
+                let x = hash_to_prime(&material, self.config.prime_bits)
+                    .map_err(|e| SlicerError::IndexCorruption(e.to_string()))?;
+                Ok((h, x))
             });
 
         // Merge, stage 2 (sequential): update T and S, then fold every new

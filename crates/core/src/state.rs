@@ -3,7 +3,7 @@
 
 use slicer_mshash::MsetHash;
 use slicer_trapdoor::Trapdoor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The per-keyword state stored in `T`: the newest trapdoor and the update
 /// count `j`.
@@ -26,13 +26,17 @@ slicer_crypto::impl_codec!(KeywordState {
 
 /// Owner state: `T` (trapdoor states, also delegated to users) and `S`
 /// (set hashes, owner-only).
+///
+/// Both dictionaries are ordered maps so that iteration — and everything
+/// derived from it: codec bytes, snapshot checksums, merge transcripts — is
+/// deterministic across runs and thread counts.
 #[derive(Debug, Clone, Default)]
 pub struct OwnerState {
     /// `T`: keyword encoding → trapdoor state.
-    pub trapdoors: HashMap<Vec<u8>, KeywordState>,
+    pub trapdoors: BTreeMap<Vec<u8>, KeywordState>,
     /// `S`: keyword state key (`t‖j‖G1‖G2`) → multiset hash of the
     /// keyword's full result set.
-    pub set_hashes: HashMap<Vec<u8>, MsetHash>,
+    pub set_hashes: BTreeMap<Vec<u8>, MsetHash>,
 }
 
 slicer_crypto::impl_codec!(OwnerState {
@@ -47,7 +51,7 @@ impl OwnerState {
     }
 
     /// The user-visible half (`T` only) shipped during delegation.
-    pub fn user_view(&self) -> HashMap<Vec<u8>, KeywordState> {
+    pub fn user_view(&self) -> BTreeMap<Vec<u8>, KeywordState> {
         self.trapdoors.clone()
     }
 }

@@ -10,7 +10,7 @@ use crate::state::KeywordState;
 use slicer_crypto::Prf;
 use slicer_sore::Order;
 use slicer_telemetry::TelemetryHandle;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An authorized data user.
 ///
@@ -23,14 +23,18 @@ use std::collections::HashMap;
 pub struct DataUser {
     keys: KeySet,
     config: SlicerConfig,
-    states: HashMap<Vec<u8>, KeywordState>,
+    states: BTreeMap<Vec<u8>, KeywordState>,
     telemetry: TelemetryHandle,
 }
 
 impl DataUser {
     /// Builds a user from delegated material (see
     /// [`crate::DataOwner::delegate`]).
-    pub fn new(keys: KeySet, config: SlicerConfig, states: HashMap<Vec<u8>, KeywordState>) -> Self {
+    pub fn new(
+        keys: KeySet,
+        config: SlicerConfig,
+        states: BTreeMap<Vec<u8>, KeywordState>,
+    ) -> Self {
         DataUser {
             keys,
             config,
@@ -46,7 +50,7 @@ impl DataUser {
     }
 
     /// Replaces the local trapdoor state with the owner's newest `T`.
-    pub fn sync_state(&mut self, states: HashMap<Vec<u8>, KeywordState>) {
+    pub fn sync_state(&mut self, states: BTreeMap<Vec<u8>, KeywordState>) {
         self.states = states;
     }
 
@@ -111,7 +115,7 @@ impl DataUser {
 /// `(t_j, j, G1, G2)` tokens.
 pub(crate) fn make_tokens(
     prf_g: &Prf,
-    states: &HashMap<Vec<u8>, KeywordState>,
+    states: &BTreeMap<Vec<u8>, KeywordState>,
     value_bits: u8,
     query: &Query,
 ) -> Vec<SearchToken> {

@@ -25,10 +25,9 @@
 //! # Ok::<(), slicer_crypto::codec::CodecError>(())
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
-use std::hash::Hash;
 use std::time::Duration;
 
 /// Serializes a value to bytes.
@@ -332,40 +331,6 @@ codec_tuple!(A: 0, B: 1);
 codec_tuple!(A: 0, B: 1, C: 2);
 codec_tuple!(A: 0, B: 1, C: 2, D: 3);
 
-impl<K: Encode, V: Encode> Encode for HashMap<K, V> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        // Sort entries by encoded key so the encoding is deterministic
-        // regardless of hash-map iteration order.
-        let mut entries: Vec<(Vec<u8>, &V)> = self
-            .iter()
-            .map(|(k, v)| {
-                let mut kb = Vec::new();
-                k.encode(&mut kb);
-                (kb, v)
-            })
-            .collect();
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        write_len(out, entries.len());
-        for (kb, v) in entries {
-            out.extend_from_slice(&kb);
-            v.encode(out);
-        }
-    }
-}
-
-impl<K: Decode + Eq + Hash, V: Decode> Decode for HashMap<K, V> {
-    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let len = reader.read_len()?;
-        let mut map = HashMap::with_capacity(len.min(4096));
-        for _ in 0..len {
-            let k = K::decode(reader)?;
-            let v = V::decode(reader)?;
-            map.insert(k, v);
-        }
-        Ok(map)
-    }
-}
-
 impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
     fn encode(&self, out: &mut Vec<u8>) {
         // Key order is already canonical; no sorting pass needed.
@@ -501,20 +466,6 @@ mod tests {
             c: vec![1, 2, 3],
             d: [9, 8, 7, 6],
         });
-    }
-
-    #[test]
-    fn hashmap_encoding_is_deterministic() {
-        let mut m1 = HashMap::new();
-        let mut m2 = HashMap::new();
-        for i in 0..32u64 {
-            m1.insert(i, i * 2);
-        }
-        for i in (0..32u64).rev() {
-            m2.insert(i, i * 2);
-        }
-        assert_eq!(to_bytes(&m1).unwrap(), to_bytes(&m2).unwrap());
-        roundtrip(m1);
     }
 
     #[test]

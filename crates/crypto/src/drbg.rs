@@ -20,6 +20,7 @@ use crate::rng::Rng;
 /// ```
 #[derive(Clone)]
 pub struct HmacDrbg {
+    // slicer-lint: secret — DRBG working key
     key: [u8; 32],
     value: [u8; 32],
     buffer: Vec<u8>,

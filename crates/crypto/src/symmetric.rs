@@ -27,6 +27,7 @@ pub const NONCE_LEN: usize = 16;
 #[derive(Clone)]
 pub struct SymmetricKey {
     cipher: Aes128,
+    // slicer-lint: secret — raw AES key bytes
     key_bytes: [u8; 16],
 }
 

@@ -1,0 +1,15 @@
+use slicer_lint::parser::parse_file;
+use slicer_lint::taint;
+use std::fs;
+
+fn main() {
+    let root = std::path::Path::new(".");
+    let mut sources = Vec::new();
+    for path in slicer_lint::collect_files(root).unwrap() {
+        let rel = slicer_lint::relative_path(root, &path);
+        let src = fs::read_to_string(&path).unwrap();
+        sources.push((rel, src));
+    }
+    let parsed: Vec<_> = sources.iter().map(|(p, s)| parse_file(p, s)).collect();
+    taint::debug_dump(&parsed);
+}

@@ -1,0 +1,18 @@
+//! Seeded violation: interprocedural — the sink lives two calls away from
+//! the secret, and the intermediate hops carry it as opaque bytes (no
+//! secret type, no telltale name). The single finding must be attributed
+//! to `top`'s call into `middle`, with the whole chain in the detail.
+
+fn top(span: &mut Span) {
+    // slicer-lint: secret — exported key bytes
+    let material = export_bytes();
+    middle(span, material);
+}
+
+fn middle(span: &mut Span, blob: &[u8]) {
+    bottom(span, blob);
+}
+
+fn bottom(span: &mut Span, data: &[u8]) {
+    span.attr("payload", data);
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: variable-time equality on secret material. The
+//! binding name (`material`) defeats the name-based `ct.secret_eq` rule;
+//! only value taint ties it back to the secret getter.
+
+fn matches_stored(ks: &KeySet, candidate: &[u8]) -> bool {
+    let material = ks.record_key();
+    material == candidate
+}

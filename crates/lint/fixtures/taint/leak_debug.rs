@@ -1,0 +1,5 @@
+//! Seeded violation: a secret-typed parameter reaches `format!`.
+
+fn describe(key: &SymmetricKey) -> String {
+    format!("loaded key {:?}", key)
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: annotated secret reaches a telemetry attribute.
+//! The binding is deliberately named `material` — nothing in the name
+//! matches the `ct.secret_eq` heuristics, so only the taint engine can
+//! find this flow.
+
+fn record(span: &mut Span) {
+    // slicer-lint: secret — derived PRF output kept private
+    let material = load_from_vault();
+    span.attr("vault.material", material);
+}

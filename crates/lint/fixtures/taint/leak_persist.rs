@@ -1,0 +1,5 @@
+//! Seeded violation: secret material written to the durable frame store.
+
+fn checkpoint(w: &mut Writer, keys: &KeySet) -> io::Result<()> {
+    write_frames(w, keys)
+}

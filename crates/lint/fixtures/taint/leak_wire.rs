@@ -1,0 +1,5 @@
+//! Seeded violation: secret material encoded onto the wire protocol.
+
+fn reply(stream: &mut Stream, prf: &Prf) -> io::Result<()> {
+    write_message(stream, prf)
+}

@@ -1,0 +1,27 @@
+//! The same five flows as the leak fixtures, each discharged by a
+//! sanctioned sanitizer or structure-only accessor. Must produce zero
+//! taint findings.
+
+fn record(span: &mut Span) {
+    // slicer-lint: secret — derived PRF output kept private
+    let material = load_from_vault();
+    span.attr("vault.material", sha256(material));
+    span.attr("vault.len", material.len());
+}
+
+fn describe(key: &SymmetricKey) -> String {
+    format!("loaded key of {} bytes", key.len())
+}
+
+fn checkpoint(w: &mut Writer, keys: &KeySet) -> io::Result<()> {
+    write_frames(w, keys.public())
+}
+
+fn reply(stream: &mut Stream, prf: &Prf) -> io::Result<()> {
+    write_message(stream, prf.derive(b"beacon", 1))
+}
+
+fn matches_stored(ks: &KeySet, candidate: &[u8]) -> bool {
+    let hashed = sha256(ks.record_key());
+    hashed == candidate
+}

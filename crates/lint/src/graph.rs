@@ -1,0 +1,161 @@
+//! Workspace symbol table and call graph over [`crate::parser`] output.
+//!
+//! Resolution is name-based: a call site `f(..)` or `.f(..)` resolves to
+//! every parsed function named `f`. That is deliberately conservative for a
+//! lint — with at most a handful of same-named functions per workspace, a
+//! tainted argument is checked against each candidate's summary and the
+//! worst case wins.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::ParsedFile;
+use std::collections::BTreeMap;
+
+/// Identifies a function as `(file index, fn index)` into the parsed
+/// workspace.
+pub type FnId = (usize, usize);
+
+/// Name → candidate definitions, over all parsed files.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from every function in every file.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        SymbolTable { by_name }
+    }
+
+    /// All definitions of `name` (empty slice when unknown).
+    pub fn resolve(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct function names.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no functions were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name.
+    pub name: String,
+    /// Token index of the callee identifier in the body.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// True for `.name(..)` method calls (receiver precedes the dot).
+    pub method: bool,
+}
+
+/// Extracts every `name(` / `.name(` call site from a body token slice.
+/// Macro invocations (`name!(..)`) and definitions (`fn name(`) are not
+/// call sites.
+pub fn call_sites(body: &[Tok]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let called = body.get(i + 1).is_some_and(|n| n.text == "(");
+        if !called {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| body[p].text.as_str());
+        if prev == Some("fn") {
+            continue;
+        }
+        out.push(CallSite {
+            name: t.text.clone(),
+            tok: i,
+            line: t.line,
+            method: prev == Some("."),
+        });
+    }
+    out
+}
+
+/// The workspace call graph: caller → unique callee names that resolve in
+/// the symbol table. Used to order and bound the taint fixpoint, and by
+/// tests to pin reachability.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller] = sorted unique resolved callee names`.
+    pub edges: BTreeMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every parsed function body.
+    pub fn build(files: &[ParsedFile], table: &SymbolTable) -> Self {
+        let mut edges: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for file in files {
+            for f in &file.fns {
+                let entry = edges.entry(f.name.clone()).or_default();
+                for call in call_sites(&f.body) {
+                    if !table.resolve(&call.name).is_empty() && !entry.contains(&call.name) {
+                        entry.push(call.name.clone());
+                    }
+                }
+                entry.sort();
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Callee names of `caller` (empty when unknown or leaf).
+    pub fn callees(&self, caller: &str) -> &[String] {
+        self.edges.get(caller).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn table_resolves_across_files() {
+        let a = parse_file("crates/core/src/a.rs", "fn alpha() { beta(); }");
+        let b = parse_file("crates/core/src/b.rs", "fn beta() {}");
+        let files = vec![a, b];
+        let table = SymbolTable::build(&files);
+        assert_eq!(table.resolve("beta"), &[(1, 0)]);
+        assert!(table.resolve("gamma").is_empty());
+    }
+
+    #[test]
+    fn call_sites_skip_macros_and_defs() {
+        let f = parse_file(
+            "crates/core/src/x.rs",
+            "fn f() { g(); h.method(); println!(\"x\"); }",
+        );
+        let calls = call_sites(&f.fns[0].body);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "method"]);
+        assert!(calls[1].method);
+        assert!(!calls[0].method);
+    }
+
+    #[test]
+    fn graph_keeps_only_resolved_edges() {
+        let src = "fn top() { mid(); std_only(); }\nfn mid() { top(); }\n";
+        let files = vec![parse_file("crates/core/src/x.rs", src)];
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::build(&files, &table);
+        assert_eq!(graph.callees("top"), ["mid"]);
+        assert_eq!(graph.callees("mid"), ["top"], "recursion is representable");
+    }
+}

@@ -53,6 +53,10 @@ pub struct Lexed {
     pub tokens: Vec<Tok>,
     /// Pragmas in source order.
     pub pragmas: Vec<Pragma>,
+    /// Lines carrying a `// slicer-lint: secret` annotation, marking the
+    /// binding declared on that line (or the next) as secret material for
+    /// the taint analysis.
+    pub secret_lines: Vec<u32>,
 }
 
 /// Multi-char operators, longest first so greedy matching is unambiguous.
@@ -85,7 +89,12 @@ pub fn lex(src: &str) -> Lexed {
                 // them describing the pragma syntax must not act as one.
                 let doc = matches!(b.get(start + 2), Some(&b'/') | Some(&b'!'));
                 if !doc {
-                    scan_pragma(&src[start..i], line, &mut out.pragmas);
+                    scan_pragma(
+                        &src[start..i],
+                        line,
+                        &mut out.pragmas,
+                        &mut out.secret_lines,
+                    );
                 }
             }
             b'/' if b.get(i + 1) == Some(&b'*') => {
@@ -274,13 +283,14 @@ fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
 
 /// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
 fn lex_quote(src: &str, b: &[u8], i: usize) -> (usize, TokKind, String) {
-    // Escape sequence: definitely a char literal.
+    // Escape sequence: definitely a char literal. Skip the escaped
+    // character itself first, so `'\''` does not close on its own escape.
     if b.get(i + 1) == Some(&b'\\') {
-        let mut j = i + 2;
+        let mut j = (i + 3).min(b.len());
         while j < b.len() && b[j] != b'\'' {
             j += 1;
         }
-        return (j + 1, TokKind::Char, String::from("'\\'"));
+        return ((j + 1).min(b.len()), TokKind::Char, String::from("'\\'"));
     }
     // `'x` where x is ident-ish: lifetime unless closed by another quote.
     if b.get(i + 1)
@@ -308,12 +318,17 @@ fn lex_quote(src: &str, b: &[u8], i: usize) -> (usize, TokKind, String) {
 }
 
 /// Parses a line comment for the pragma syntax
-/// `// slicer-lint: allow(<rule>) — <reason>` (any dash style, or none).
-fn scan_pragma(comment: &str, line: u32, out: &mut Vec<Pragma>) {
+/// `// slicer-lint: allow(<rule>) — <reason>` (any dash style, or none),
+/// and for the taint-source marker `// slicer-lint: secret`.
+fn scan_pragma(comment: &str, line: u32, out: &mut Vec<Pragma>, secrets: &mut Vec<u32>) {
     let Some(pos) = comment.find("slicer-lint:") else {
         return;
     };
     let rest = comment[pos + "slicer-lint:".len()..].trim_start();
+    if rest == "secret" || rest.starts_with("secret ") || rest.starts_with("secret —") {
+        secrets.push(line);
+        return;
+    }
     let Some(inner) = rest.strip_prefix("allow(") else {
         return;
     };
@@ -403,6 +418,15 @@ mod tests {
         let lexed = lex("// slicer-lint: allow(det.wall_clock)\n");
         assert_eq!(lexed.pragmas.len(), 1);
         assert!(lexed.pragmas[0].reason.is_empty());
+    }
+
+    #[test]
+    fn secret_annotation_records_its_line() {
+        let lexed = lex("let a = 1;\n// slicer-lint: secret — PRF key seed\nlet k = seed();\n");
+        assert_eq!(lexed.secret_lines, vec![2]);
+        assert!(lexed.pragmas.is_empty());
+        // Bare form, no reason.
+        assert_eq!(lex("// slicer-lint: secret\n").secret_lines, vec![1]);
     }
 
     #[test]

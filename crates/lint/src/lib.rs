@@ -28,8 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 
 pub use rules::{policy_for, scan_source, Finding, Policy, ALL_RULES};
 
@@ -77,20 +80,40 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans every covered file under `root` and returns all findings, with
-/// paths made workspace-relative (forward slashes).
+/// Scans every covered file under `root` and returns all findings —
+/// per-file token rules plus the workspace-wide interprocedural taint
+/// analysis — with paths made workspace-relative (forward slashes).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (unreadable files).
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for path in collect_files(root)? {
         let rel = relative_path(root, &path);
         let src = fs::read_to_string(&path)?;
-        findings.extend(scan_source(&rel, &src));
+        sources.push((rel, src));
     }
-    Ok(findings)
+    Ok(scan_sources(&sources))
+}
+
+/// Scans a set of in-memory `(workspace-relative path, source)` pairs:
+/// per-file token rules plus the cross-file taint analysis over the whole
+/// set. This is the engine behind [`scan_workspace`], exposed so fixtures
+/// and tests can lint synthetic workspaces without touching the
+/// filesystem.
+pub fn scan_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, src) in sources {
+        findings.extend(scan_source(rel, src));
+    }
+    let parsed: Vec<parser::ParsedFile> = sources
+        .iter()
+        .map(|(rel, src)| parser::parse_file(rel, src))
+        .collect();
+    findings.extend(taint::analyze(&parsed));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
 /// `root`-relative path with forward slashes (baseline entries must not

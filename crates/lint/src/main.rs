@@ -8,6 +8,8 @@
 //!   ones) without judging.
 //! * `--strict` — with `--check`, also fail when the baseline is stale
 //!   (counts shrank without `--update-baseline`).
+//! * `--format json` — machine-readable output: one JSON object with the
+//!   findings, mode verdict and per-family totals (for CI consumers).
 //! * `--root <dir>` — workspace root (default: the lint crate's
 //!   grandparent, i.e. the repo root when run via cargo).
 
@@ -19,6 +21,7 @@ use std::process::ExitCode;
 struct Args {
     mode: Mode,
     strict: bool,
+    json: bool,
     root: PathBuf,
 }
 
@@ -32,6 +35,7 @@ enum Mode {
 fn parse_args() -> Result<Args, String> {
     let mut mode = Mode::Check;
     let mut strict = false;
+    let mut json = false;
     let mut root = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -40,12 +44,22 @@ fn parse_args() -> Result<Args, String> {
             "--update-baseline" => mode = Mode::UpdateBaseline,
             "--list" => mode = Mode::List,
             "--strict" => strict = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format wants json or text, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
             "--root" => {
                 root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: slicer-lint [--check|--update-baseline|--list] [--strict] [--root DIR]"
+                    "usage: slicer-lint [--check|--update-baseline|--list] [--strict] [--format json|text] [--root DIR]"
                 );
                 std::process::exit(0);
             }
@@ -61,7 +75,90 @@ fn parse_args() -> Result<Args, String> {
             .ok_or("cannot locate workspace root; pass --root")?
             .to_path_buf(),
     };
-    Ok(Args { mode, strict, root })
+    Ok(Args {
+        mode,
+        strict,
+        json,
+        root,
+    })
+}
+
+/// Minimal RFC 8259 string escaping (the linter is zero-dependency).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn findings_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                json_escape(f.rule),
+                json_escape(&f.detail)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn families_json(findings: &[Finding]) -> String {
+    let mut totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *totals
+            .entry(f.rule.split('.').next().unwrap_or(f.rule))
+            .or_insert(0) += 1;
+    }
+    let items: Vec<String> = totals
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+        .collect();
+    format!("{{{}}}", items.join(","))
+}
+
+fn regressions_json(regs: &[baseline::Regression]) -> String {
+    let items: Vec<String> = regs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"file\":\"{}\",\"rule\":\"{}\",\"found\":{},\"allowed\":{}}}",
+                json_escape(&r.file),
+                json_escape(&r.rule),
+                r.found,
+                r.allowed
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The complete machine-readable report: status, findings, per-family
+/// totals, and (in check mode) the ratchet comparison.
+fn report_json(status: &str, findings: &[Finding], ratchet: Option<&baseline::Ratchet>) -> String {
+    let mut fields = vec![
+        format!("\"status\":\"{}\"", json_escape(status)),
+        format!("\"findings\":{}", findings_json(findings)),
+        format!("\"families\":{}", families_json(findings)),
+    ];
+    if let Some(r) = ratchet {
+        fields.push(format!("\"regressions\":{}", regressions_json(&r.grown)));
+        fields.push(format!("\"stale\":{}", regressions_json(&r.shrunk)));
+    }
+    format!("{{{}}}", fields.join(","))
 }
 
 fn family_summary(findings: &[Finding]) -> String {
@@ -97,6 +194,10 @@ fn main() -> ExitCode {
 
     match args.mode {
         Mode::List => {
+            if args.json {
+                println!("{}", report_json("listed", &findings, None));
+                return ExitCode::SUCCESS;
+            }
             for f in &findings {
                 println!("{f}");
             }
@@ -135,6 +236,23 @@ fn main() -> ExitCode {
             };
             let current = rules::group_counts(&findings);
             let ratchet = baseline::ratchet(&current, &base);
+
+            if args.json {
+                let stale_fails = args.strict && !ratchet.shrunk.is_empty();
+                let status = if !ratchet.passed() {
+                    "ratchet_violation"
+                } else if stale_fails {
+                    "stale_baseline"
+                } else {
+                    "ok"
+                };
+                println!("{}", report_json(status, &findings, Some(&ratchet)));
+                return if status == "ok" {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
 
             for g in &ratchet.grown {
                 eprintln!(

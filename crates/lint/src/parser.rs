@@ -1,0 +1,314 @@
+//! A lightweight item parser on top of the lexer: extracts function
+//! definitions (name, parameters with their type tokens, body token slice)
+//! and secret-annotation bindings from one source file.
+//!
+//! Like the lexer this is deliberately not a full Rust grammar. It only
+//! needs enough structure for the interprocedural taint analysis: which
+//! functions exist, what their parameters are named and typed, and what
+//! tokens their bodies contain. Test items (`#[test]`, `#[cfg(test)]`) are
+//! skipped wholesale, mirroring the token-rule engine.
+
+use crate::lexer::{lex, Pragma, Tok, TokKind};
+use crate::rules::{is_test_attr, skip_item};
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for receivers; `_` patterns keep the last
+    /// identifier of the pattern).
+    pub name: String,
+    /// The parameter's type tokens, joined with spaces (empty for `self`).
+    pub ty: String,
+}
+
+/// One parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body tokens (between the outermost braces, exclusive).
+    pub body: Vec<Tok>,
+}
+
+/// A parsed source file: its functions plus the file-scoped taint inputs.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate name (`core` for `crates/core/src/..`, empty for the root).
+    pub krate: String,
+    /// Non-test function definitions in source order.
+    pub fns: Vec<FnDef>,
+    /// Identifiers declared on `// slicer-lint: secret` lines — file-scoped
+    /// taint sources (fields and `let` bindings alike).
+    pub secret_names: Vec<String>,
+    /// Suppression pragmas, forwarded for taint-finding suppression.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Crate name of a workspace-relative path (`""` when not under `crates/`).
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+}
+
+/// Parses one file into its function definitions and taint inputs.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        krate: crate_of(path).to_string(),
+        secret_names: secret_names(toks, &lexed.secret_lines),
+        pragmas: lexed.pragmas,
+        ..ParsedFile::default()
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && is_test_attr(toks, i) {
+            i = skip_item(toks, i);
+            continue;
+        }
+        if toks[i].text == "fn" && toks[i].kind == TokKind::Ident {
+            if let Some((def, next)) = parse_fn(toks, i) {
+                out.fns.push(def);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses a `fn` item starting at index `i` (the `fn` keyword). Returns the
+/// definition and the index just past its body. `None` for bodyless
+/// declarations (trait methods) or unparseable shapes.
+fn parse_fn(toks: &[Tok], i: usize) -> Option<(FnDef, usize)> {
+    let name_tok = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)?;
+    let name = name_tok.text.clone();
+    let line = toks[i].line;
+    let mut j = i + 2;
+
+    // Skip a generic parameter list `<..>` (angle-depth tracked; `<<`/`>>`
+    // never appear in generics position in this workspace's code).
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        let mut depth = 0isize;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "->" | "=>" => {}
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    if toks.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let (params, after_params) = parse_params(toks, j);
+    j = after_params;
+
+    // Scan past return type / where clause to the body `{`, or bail at `;`.
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some("{") => break,
+            Some(";") | None => return None,
+            _ => j += 1,
+        }
+    }
+
+    // Collect the body to the matching `}`.
+    let body_start = j + 1;
+    let mut depth = 1usize;
+    j += 1;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let body = toks[body_start..j.min(toks.len())].to_vec();
+    Some((
+        FnDef {
+            name,
+            line,
+            params,
+            body,
+        },
+        j + 1,
+    ))
+}
+
+/// Parses the parameter list starting at the `(` at index `open`. Returns
+/// the parameters and the index just past the closing `)`.
+fn parse_params(toks: &[Tok], open: usize) -> (Vec<Param>, usize) {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<&Tok> = Vec::new();
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                depth += 1;
+                if depth > 1 {
+                    current.push(t);
+                }
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(param_of(&current));
+                    }
+                    return (params, j + 1);
+                }
+                current.push(t);
+            }
+            "," if depth == 1 => {
+                if !current.is_empty() {
+                    params.push(param_of(&current));
+                }
+                current.clear();
+            }
+            _ if depth >= 1 => current.push(t),
+            _ => {}
+        }
+        j += 1;
+    }
+    (params, j)
+}
+
+/// Builds a [`Param`] from the tokens of one parameter: the pattern is
+/// everything before the top-level `:`, the type everything after.
+fn param_of(toks: &[&Tok]) -> Param {
+    let colon = toks.iter().position(|t| t.text == ":");
+    let (pat, ty) = match colon {
+        Some(c) => (&toks[..c], &toks[c + 1..]),
+        // `self` / `&mut self` receivers carry no `:`.
+        None => (toks, &toks[..0]),
+    };
+    let name = pat
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref"))
+        .map_or_else(|| "_".to_string(), |t| t.text.clone());
+    let ty = ty
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    Param { name, ty }
+}
+
+/// Resolves each `// slicer-lint: secret` annotation line to the binding it
+/// marks: the first identifier on that line or the next that is followed by
+/// `:` or `=` (covers `let name =`, struct fields `name: Ty`, and
+/// parameters `name: Ty` on their own line).
+fn secret_names(toks: &[Tok], secret_lines: &[u32]) -> Vec<String> {
+    let mut names = Vec::new();
+    for &line in secret_lines {
+        let declared = toks.iter().enumerate().find(|(idx, t)| {
+            (t.line == line || t.line == line + 1)
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "let" | "pub" | "mut" | "ref" | "crate")
+                && toks
+                    .get(idx + 1)
+                    .is_some_and(|n| n.text == ":" || n.text == "=")
+        });
+        if let Some((_, t)) = declared {
+            if !names.contains(&t.text) {
+                names.push(t.text.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/core/src/x.rs", src)
+    }
+
+    #[test]
+    fn extracts_name_params_and_body() {
+        let p = parse("fn add(a: u64, b: u64) -> u64 { a + b }\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert_eq!(f.params[1].ty, "u64");
+        assert!(f.body.iter().any(|t| t.text == "+"));
+    }
+
+    #[test]
+    fn receiver_and_reference_types_parse() {
+        let p = parse("impl S { fn get(&self, key: &Prf) -> u8 { 0 } }");
+        let f = &p.fns[0];
+        assert_eq!(f.params[0].name, "self");
+        assert_eq!(f.params[1].name, "key");
+        assert_eq!(f.params[1].ty, "& Prf");
+    }
+
+    #[test]
+    fn generic_fns_and_nested_bodies_parse() {
+        let src = "fn outer<T: Clone>(x: T) -> T { if true { let y = x.clone(); y } else { x } }\nfn after() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "after");
+    }
+
+    #[test]
+    fn test_items_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn secret_annotations_resolve_to_bindings() {
+        let src = "struct K {\n    // slicer-lint: secret — PRF key\n    prf_g: Prf,\n}\nfn f() {\n    // slicer-lint: secret\n    let seed_material = derive();\n}\n";
+        let p = parse(src);
+        assert_eq!(p.secret_names, vec!["prf_g", "seed_material"]);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_ignored() {
+        let p = parse("trait T { fn must(&self) -> u8; }\nfn real() {}\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/core/src/owner.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "");
+    }
+}

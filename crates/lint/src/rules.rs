@@ -6,6 +6,7 @@
 //! |               | `panic.unreachable` `panic.assert` `panic.index`        | |
 //! | constant-time | `ct.secret_eq` `ct.early_exit`                          | crypto, bignum, sore |
 //! | determinism   | `det.hash_collection` `det.wall_clock` `det.thread`     | everything except telemetry; `det.thread` additionally exempts par |
+//! | secret taint  | `taint.secret_to_{log,debug,persist,wire,ct}`           | crypto, core, sore, trapdoor, daemon, persist (see [`crate::taint`]) |
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
 //! every family. Inline `// slicer-lint: allow(<rule>) — <reason>` pragmas
@@ -28,6 +29,11 @@ pub const ALL_RULES: &[&str] = &[
     "det.hash_collection",
     "det.wall_clock",
     "det.thread",
+    "taint.secret_to_log",
+    "taint.secret_to_debug",
+    "taint.secret_to_persist",
+    "taint.secret_to_wire",
+    "taint.secret_to_ct",
     "pragma.missing_reason",
 ];
 
@@ -364,7 +370,7 @@ fn in_ct_comparison_loop(scopes: &[Scope]) -> bool {
 /// At a `#` token: does an attribute marking test code start here?
 /// Recognizes `#[test]`, `#[cfg(test)]` and `#[cfg(any(test, ..))]` but
 /// not `#[cfg(not(test))]`.
-fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_test_attr(toks: &[Tok], i: usize) -> bool {
     if toks.get(i + 1).is_none_or(|t| t.text != "[") {
         return false;
     }
@@ -393,7 +399,7 @@ fn is_test_attr(toks: &[Tok], i: usize) -> bool {
 /// From a test attribute at `i`, returns the index just past the guarded
 /// item (skipping any further attributes, then either a `;`-terminated
 /// item or a braced body).
-fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+pub(crate) fn skip_item(toks: &[Tok], mut i: usize) -> usize {
     // Skip consecutive attributes.
     while toks.get(i).is_some_and(|t| t.text == "#")
         && toks.get(i + 1).is_some_and(|t| t.text == "[")

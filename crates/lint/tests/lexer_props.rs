@@ -1,0 +1,230 @@
+//! Adversarial property tests for the lint lexer: randomly assembled
+//! sources mixing the constructs most likely to desynchronize a
+//! hand-rolled tokenizer — raw strings with arbitrary hash fences, nested
+//! block comments, lifetimes adjacent to char literals, byte strings and
+//! escape sequences.
+//!
+//! The property is marker-based: every piece either *hides* a sentinel
+//! identifier inside a literal/comment (it must never reach the token
+//! stream) or *shows* one in real code (it must surface exactly once, as
+//! an `Ident`, on the predicted line). A lexer that mislays a single
+//! string fence or comment delimiter fails within a few cases because
+//! every subsequent marker lands on the wrong side.
+
+use slicer_lint::lexer::{lex, TokKind};
+use slicer_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+/// One generated source fragment: its text, and whether the embedded
+/// marker identifier is visible to the token stream.
+struct Piece {
+    text: String,
+    visible: bool,
+}
+
+fn piece(g: &mut slicer_testkit::prop::Gen, id: usize) -> Piece {
+    let m = format!("mk{id}");
+    match g.u64_in(0, 9) {
+        // Plain code: the marker must surface.
+        0 => Piece {
+            text: format!("let {m} = 1;"),
+            visible: true,
+        },
+        // Line comment hides the marker (and panic-looking bait).
+        1 => Piece {
+            text: format!("// {m}.unwrap() panic!\n"),
+            visible: false,
+        },
+        // Nested block comment, depth 2–3, optionally multiline.
+        2 => {
+            let nl = if g.bool() { "\n" } else { " " };
+            let depth3 = g.bool();
+            let inner = if depth3 {
+                format!("/* {m} /* deeper */ */")
+            } else {
+                format!("/* {m} */")
+            };
+            Piece {
+                text: format!("/* a{nl}{inner}{nl}b */"),
+                visible: false,
+            }
+        }
+        // Raw string with 0–3 hash fences; contents include quotes that
+        // would terminate a naive scan.
+        3 => {
+            let hashes = "#".repeat(g.usize_in(0, 3));
+            // A bare `"` inside is only safe with at least one fence.
+            let bait = if hashes.is_empty() { "" } else { "\" " };
+            Piece {
+                text: format!("let s = r{hashes}\"{bait}{m}\"{hashes};"),
+                visible: false,
+            }
+        }
+        // Byte string / raw byte string.
+        4 => {
+            let raw = g.bool();
+            let text = if raw {
+                format!("let s = br#\"{m} \" inner\"#;")
+            } else {
+                format!("let s = b\"{m}\";")
+            };
+            Piece {
+                text,
+                visible: false,
+            }
+        }
+        // Normal string with escaped quote and backslash.
+        5 => Piece {
+            text: format!("let s = \"\\\"{m}\\\\\";"),
+            visible: false,
+        },
+        // Lifetime position: the marker is a *visible* type-ish ident next
+        // to a lifetime that must not be taken for an unterminated char.
+        6 => Piece {
+            text: format!("fn f{id}<'a>(x: &'a {m}) {{}}"),
+            visible: true,
+        },
+        // Char literals, escaped and punctuation-bodied.
+        7 => {
+            let lit = match g.u64_in(0, 2) {
+                0 => "'x'",
+                1 => "'\\n'",
+                _ => "'('",
+            };
+            Piece {
+                text: format!("let {m} = {lit};"),
+                visible: true,
+            }
+        }
+        // Multiline raw string: newlines inside must advance line counts.
+        8 => Piece {
+            text: format!("let s = r#\"line\nwith {m}\n\"#;"),
+            visible: false,
+        },
+        // Raw identifier: visible, lexes as an ident containing the name.
+        _ => Piece {
+            text: format!("let r#{m} = 0;"),
+            visible: true,
+        },
+    }
+}
+
+#[test]
+fn hidden_markers_never_tokenize_and_visible_ones_always_do() {
+    prop_check!(0x1E8E5, 192, |g| {
+        let n = g.usize_in(1, 12);
+        let pieces: Vec<Piece> = (0..n).map(|i| piece(g, i)).collect();
+        let mut src = String::new();
+        let mut expected_line = Vec::new(); // (marker, 1-based line)
+        for (i, p) in pieces.iter().enumerate() {
+            if p.visible {
+                // Markers appear on the first line of their piece.
+                let line = 1 + src.chars().filter(|&c| c == '\n').count() as u32;
+                expected_line.push((format!("mk{i}"), line));
+            }
+            src.push_str(&p.text);
+            if g.bool() {
+                src.push('\n');
+            } else {
+                src.push(' ');
+            }
+        }
+
+        let lexed = lex(&src);
+        for (i, p) in pieces.iter().enumerate() {
+            // Exact match (or raw-ident form): `mk1` must not match `mk10`.
+            let m = format!("mk{i}");
+            let raw = format!("r#{m}");
+            let hits: Vec<_> = lexed
+                .tokens
+                .iter()
+                .filter(|t| t.text == m || t.text == raw)
+                .collect();
+            if p.visible {
+                prop_assert_eq!(hits.len(), 1);
+                prop_assert!(
+                    hits[0].kind == TokKind::Ident,
+                    "marker {m} lexed as {:?} in {src:?}",
+                    hits[0].kind
+                );
+            } else {
+                prop_assert!(
+                    hits.is_empty(),
+                    "hidden marker {m} leaked as {:?} in {src:?}",
+                    hits[0]
+                );
+            }
+        }
+        for (m, line) in &expected_line {
+            let raw = format!("r#{m}");
+            let tok = lexed.tokens.iter().find(|t| t.text == *m || t.text == raw);
+            prop_assert!(tok.is_some(), "missing {m}");
+            prop_assert_eq!(tok.map(|t| t.line), Some(*line));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn lifetimes_and_char_literals_never_confuse_each_other() {
+    prop_check!(0x11FE, 128, |g| {
+        // Random alternation of lifetimes and char literals in one source.
+        let n = g.usize_in(1, 10);
+        let mut src = String::new();
+        let mut want_lifetimes = 0usize;
+        let mut want_chars = 0usize;
+        for i in 0..n {
+            if g.bool() {
+                src.push_str(&format!("fn g{i}<'l{i}>(x: &'l{i} u8) {{}}\n"));
+                want_lifetimes += 2;
+            } else {
+                let body = match g.u64_in(0, 3) {
+                    0 => "'c'".to_string(),
+                    1 => "'\\''".to_string(),
+                    2 => "b'q'".to_string(),
+                    _ => "')'".to_string(),
+                };
+                src.push_str(&format!("let c{i} = {body};\n"));
+                want_chars += 1;
+            }
+        }
+        let lexed = lex(&src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        prop_assert_eq!(lifetimes, want_lifetimes);
+        prop_assert_eq!(chars, want_chars);
+        Ok(())
+    });
+}
+
+#[test]
+fn line_numbers_survive_multiline_literals_and_comments() {
+    prop_check!(0x11E5, 128, |g| {
+        // Interleave multiline constructs with single-line code and check
+        // the final token's line equals the source's line count.
+        let n = g.usize_in(1, 8);
+        let mut src = String::new();
+        for _ in 0..n {
+            match g.u64_in(0, 3) {
+                0 => src.push_str("/* one\ntwo\nthree */\n"),
+                1 => src.push_str("let s = \"a\nb\";\n"),
+                2 => src.push_str("let r = r#\"x\ny\"#;\n"),
+                _ => src.push_str("let q = 1;\n"),
+            }
+        }
+        src.push_str("sentinel");
+        let total_lines = 1 + src.chars().filter(|&c| c == '\n').count() as u32;
+        let lexed = lex(&src);
+        let last = lexed.tokens.last().expect("sentinel token");
+        prop_assert_eq!(last.text.as_str(), "sentinel");
+        prop_assert_eq!(last.line, total_lines);
+        Ok(())
+    });
+}

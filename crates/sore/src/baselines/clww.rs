@@ -78,16 +78,22 @@ impl ClwwOre {
     /// Panics if the ciphertexts have different lengths.
     pub fn compare(a: &[u8], b: &[u8]) -> Ordering {
         assert_eq!(a.len(), b.len(), "ciphertexts from different widths");
+        // Branch-free scan: the first differing trit's verdict is latched
+        // with flag arithmetic instead of an early return, so the loop
+        // shape is independent of where (or whether) the inputs diverge.
+        let mut decided = 0u8;
+        let mut greater = 0u8;
         for (x, y) in a.iter().zip(b) {
-            if x != y {
-                return if (*x + 3 - *y) % 3 == 1 {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
-                };
-            }
+            let diff = u8::from(x != y);
+            let g = u8::from((*x + 3 - *y) % 3 == 1);
+            greater |= (1 - decided) & diff & g;
+            decided |= diff;
         }
-        Ordering::Equal
+        match (decided, greater) {
+            (0, _) => Ordering::Equal,
+            (_, 1) => Ordering::Greater,
+            _ => Ordering::Less,
+        }
     }
 
     /// The leakage: index of the first differing bit (None if equal) —
@@ -138,6 +144,42 @@ mod tests {
                 ClwwOre::compare(&ore.encrypt(x as u64), &ore.encrypt(y as u64)),
                 x.cmp(&y)
             );
+            Ok(())
+        });
+    }
+
+    /// The pre-hardening early-exit scan, kept as the semantic reference
+    /// for the branch-free `compare`.
+    fn reference_compare(a: &[u8], b: &[u8]) -> Ordering {
+        for (x, y) in a.iter().zip(b) {
+            if x != y {
+                return if (*x + 3 - *y) % 3 == 1 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+            }
+        }
+        Ordering::Equal
+    }
+
+    #[test]
+    fn branch_free_compare_matches_reference() {
+        // Adversarial trit vectors, not just well-formed ciphertexts: the
+        // branch-free fold must agree with the early-exit reference on
+        // every byte pattern, including equal prefixes of every length.
+        prop_check!(0x5053, 256, |g| {
+            let len = (g.u8() % 24) as usize;
+            let a: Vec<u8> = (0..len).map(|_| g.u8() % 3).collect();
+            let mut b = a.clone();
+            // Flip a suffix half the time so equality is well represented.
+            if g.u8() & 1 == 1 && len > 0 {
+                let cut = (g.u8() as usize) % len;
+                for t in &mut b[cut..] {
+                    *t = g.u8() % 3;
+                }
+            }
+            prop_assert_eq!(ClwwOre::compare(&a, &b), reference_compare(&a, &b));
             Ok(())
         });
     }

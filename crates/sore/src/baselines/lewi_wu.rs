@@ -160,6 +160,11 @@ impl LewiWuOre {
         right: &RightCiphertext,
     ) -> Ordering {
         assert_eq!(left.blocks.len(), right.tables.len(), "mismatched shapes");
+        // Branch-free: every block is unmasked and folded; the first
+        // non-equal block's verdict is latched via flag arithmetic rather
+        // than an early return, so every comparison touches all blocks.
+        let mut decided = 0u8;
+        let mut outcome = 1u8; // 0 = less, 1 = equal, 2 = greater
         for blk in 0..left.blocks.len() {
             let j = self.block_at(x, blk) as usize;
             let nonce = &right.nonces[blk];
@@ -169,13 +174,15 @@ impl LewiWuOre {
             let mask = sha256(&mask_in)[0] % 3;
             let entry = right.tables[blk][j];
             let cmp_val = (entry + 3 - mask) % 3;
-            match cmp_val {
-                1 => continue, // equal block, move to the next
-                0 => return Ordering::Less,
-                _ => return Ordering::Greater,
-            }
+            let take = (1 - decided) & u8::from(cmp_val != 1);
+            outcome = outcome * (1 - take) + cmp_val * take;
+            decided |= take;
         }
-        Ordering::Equal
+        match outcome {
+            0 => Ordering::Less,
+            1 => Ordering::Equal,
+            _ => Ordering::Greater,
+        }
     }
 
     fn check(&self, v: u64) {
@@ -234,6 +241,50 @@ mod tests {
             let left = ore.encrypt_left(x as u64);
             let right = ore.encrypt_right(y as u64);
             prop_assert_eq!(ore.compare_indexed(x as u64, &left, &right), x.cmp(&y));
+            Ok(())
+        });
+    }
+
+    /// The pre-hardening early-exit comparison, kept as the semantic
+    /// reference for the branch-free `compare_indexed`.
+    fn reference_compare_indexed(
+        ore: &LewiWuOre,
+        x: u64,
+        left: &LeftCiphertext,
+        right: &RightCiphertext,
+    ) -> Ordering {
+        for blk in 0..left.blocks.len() {
+            let j = ore.block_at(x, blk) as usize;
+            let mut mask_in = Vec::with_capacity(48);
+            mask_in.extend_from_slice(&left.blocks[blk]);
+            mask_in.extend_from_slice(&right.nonces[blk]);
+            let mask = sha256(&mask_in)[0] % 3;
+            let cmp_val = (right.tables[blk][j] + 3 - mask) % 3;
+            match cmp_val {
+                1 => continue,
+                0 => return Ordering::Less,
+                _ => return Ordering::Greater,
+            }
+        }
+        Ordering::Equal
+    }
+
+    #[test]
+    fn branch_free_compare_matches_reference() {
+        // Includes mismatched-key pairs, where unmasking yields garbage
+        // trits: the branch-free fold must still latch exactly the verdict
+        // the early-exit reference would have returned.
+        prop_check!(0x5054, 128, |g| {
+            let (x, y) = (g.u16(), g.u16());
+            let ore = LewiWuOre::new(b"prop", 16, 4);
+            let other = LewiWuOre::new(b"other-key", 16, 4);
+            let left = ore.encrypt_left(x as u64);
+            for right in [ore.encrypt_right(y as u64), other.encrypt_right(y as u64)] {
+                prop_assert_eq!(
+                    ore.compare_indexed(x as u64, &left, &right),
+                    reference_compare_indexed(&ore, x as u64, &left, &right)
+                );
+            }
             Ok(())
         });
     }

@@ -4,7 +4,7 @@ use crate::order::Order;
 use crate::tuple::{cipher_tuples, token_tuples, SliceTuple};
 use slicer_crypto::Prf;
 use slicer_crypto::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A SORE query token: `b` shuffled PRF values.
 pub type Token = Vec<[u8; 32]>;
@@ -31,6 +31,7 @@ pub type Ciphertext = Vec<[u8; 32]>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SoreScheme {
+    // slicer-lint: secret — the sORE comparison PRF key
     prf: Prf,
     bits: u8,
 }
@@ -108,7 +109,7 @@ impl SoreScheme {
 
     /// `SORE.Compare(ct, tk)`: true iff the sets share exactly one element.
     pub fn compare(ct: &[[u8; 32]], tk: &[[u8; 32]]) -> bool {
-        let tk_set: HashSet<&[u8; 32]> = tk.iter().collect();
+        let tk_set: BTreeSet<&[u8; 32]> = tk.iter().collect();
         ct.iter().filter(|c| tk_set.contains(*c)).count() == 1
     }
 
@@ -117,7 +118,7 @@ impl SoreScheme {
     /// first differing bit can be recovered from comparing two tokens; see
     /// the leakage discussion in Section VI-A). Used by leakage tests.
     pub fn common_count(a: &[[u8; 32]], b: &[[u8; 32]]) -> usize {
-        let set: HashSet<&[u8; 32]> = a.iter().collect();
+        let set: BTreeSet<&[u8; 32]> = a.iter().collect();
         b.iter().filter(|x| set.contains(*x)).count()
     }
 
@@ -257,8 +258,8 @@ mod tests {
         let mut r = rng();
         let t1 = sore.token(12345, Order::Less, &mut r);
         let t2 = sore.token(12345, Order::Less, &mut r);
-        let s1: HashSet<_> = t1.iter().collect();
-        let s2: HashSet<_> = t2.iter().collect();
+        let s1: BTreeSet<_> = t1.iter().collect();
+        let s2: BTreeSet<_> = t2.iter().collect();
         assert_eq!(s1, s2);
         assert_ne!(t1, t2, "with 16 elements an identical order is ~2^-44");
     }

@@ -1,6 +1,6 @@
 //! The history-independent encrypted index `I`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -30,16 +30,18 @@ impl fmt::Display for DuplicateLabelError {
 
 impl Error for DuplicateLabelError {}
 
-/// The encrypted index: an unordered dictionary from PRF labels to masked
-/// record ciphertexts `d = F(G2, t‖c) ⊕ Enc(K_R, R)`.
+/// The encrypted index: a dictionary from PRF labels to masked record
+/// ciphertexts `d = F(G2, t‖c) ⊕ Enc(K_R, R)`.
 ///
-/// Backed by a hash map, which is *history independent* in the sense
-/// relevant to Section VI-A: lookups reveal nothing about insertion order,
-/// and the server only ever addresses entries through PRF labels it derives
-/// from search tokens.
+/// Backed by an ordered map keyed on the PRF label, which is *history
+/// independent* in the sense relevant to Section VI-A: the layout is a pure
+/// function of the label set, revealing nothing about insertion order, and
+/// the server only ever addresses entries through PRF labels it derives
+/// from search tokens. Label ordering also makes iteration (and the codec
+/// bytes and persistence checksums derived from it) deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct EncryptedIndex {
-    entries: HashMap<IndexLabel, Vec<u8>>,
+    entries: BTreeMap<IndexLabel, Vec<u8>>,
     value_bytes: usize,
 }
 
@@ -122,12 +124,9 @@ impl EncryptedIndex {
 
     /// All entries in ascending label order. Persistence chunks the index
     /// into segments through this, so segment contents (and their
-    /// checksums) are identical across runs regardless of hash-map
-    /// iteration order.
+    /// checksums) are identical across runs.
     pub fn sorted_entries(&self) -> Vec<(&IndexLabel, &Vec<u8>)> {
-        let mut out: Vec<(&IndexLabel, &Vec<u8>)> = self.entries.iter().collect();
-        out.sort_unstable_by_key(|(l, _)| *l);
-        out
+        self.entries.iter().collect()
     }
 }
 

@@ -173,6 +173,7 @@ impl TrapdoorPublic {
 #[derive(Debug, Clone)]
 pub struct TrapdoorKeyPair {
     public: TrapdoorPublic,
+    // slicer-lint: secret — the RSA trapdoor exponent `d`
     private_exponent: BigUint,
 }
 

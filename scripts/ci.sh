@@ -10,8 +10,23 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "==> slicer-lint --check (static-analysis ratchet)"
-cargo run -q --release --offline -p slicer-lint -- --check
+echo "==> slicer-lint --check --strict --format json (static-analysis ratchet)"
+# Strict mode fails when the baseline is stale (counts shrank without
+# --update-baseline), not just when they grew — the ratchet file in the
+# repo must always match reality. The JSON report is the CI artifact;
+# surface the status line for humans either way.
+lint_out="$(cargo run -q --release --offline -p slicer-lint -- \
+  --check --strict --format json)" || {
+  echo "$lint_out"
+  echo "slicer-lint FAILED: ratchet violation or stale baseline (see report above)" >&2
+  exit 1
+}
+grep -q '"status":"ok"' <<<"$lint_out" || {
+  echo "$lint_out"
+  echo "slicer-lint FAILED: report status is not ok" >&2
+  exit 1
+}
+echo "slicer-lint OK (strict ratchet holds)"
 
 echo "==> cargo test -q --offline (SLICER_THREADS=1)"
 SLICER_THREADS=1 cargo test -q --offline --workspace --release

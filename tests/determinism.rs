@@ -277,6 +277,33 @@ fn structured_log_transcript_is_seed_deterministic() {
 }
 
 #[test]
+fn owner_state_transcript_digest_is_pinned() {
+    // Regression pin for the BTreeMap migration: owner state (`T` + `S`),
+    // the encrypted index and the chain transcript are all encoded from
+    // ordered maps, so their bytes are a pure function of `(config, seed)`
+    // — pin the digest so any future change to map iteration order, the
+    // codec, or the protocol's insertion bookkeeping surfaces here as an
+    // explicit re-pin rather than silent drift.
+    let sys = run_lifecycle(0xD5EED);
+    let mut material = to_bytes(sys.instance().owner.state()).expect("encodes");
+    for block in sys.chain().blocks() {
+        material.extend_from_slice(&to_bytes(block).expect("encodes"));
+    }
+    let digest = slicer_crypto::sha256(&material);
+    let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(
+        hex, PINNED_TRANSCRIPT_DIGEST,
+        "owner-state/chain transcript drifted; if the codec or protocol \
+         changed intentionally, re-pin this digest"
+    );
+}
+
+/// SHA-256 of `encode(owner_state) ‖ encode(block_0) ‖ …` for the
+/// `run_lifecycle(0xD5EED)` deployment above.
+const PINNED_TRANSCRIPT_DIGEST: &str =
+    "a73f4013df4be33f976d336a0c74b554b5cbe68cd0bfdbaaecf842afcaa363fd";
+
+#[test]
 fn dual_delete_reinsert_transcript_is_seed_deterministic() {
     // Regression pin for the dual-instance hash-iteration bug: the
     // delete/re-insert bookkeeping used to walk `HashMap`s, so two
