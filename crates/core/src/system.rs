@@ -213,6 +213,10 @@ impl SlicerInstance {
             SlicerContract::new(config.accumulator.clone(), config.prime_bits, owner_addr);
         let deployed = chain.deploy_contract(owner_addr, Box::new(contract), 0)?;
         chain.seal_block();
+        // Every gas-bearing span must have a matching phase counter, so
+        // profile gas totals reconcile with the counter surface on
+        // restored deployments too (slicer-cli profile --check).
+        telemetry.count("phase.restore.gas", deployed.receipt.gas_used);
         if span.is_recording() {
             span.attr("gas.used", deployed.receipt.gas_used);
         }
@@ -509,8 +513,14 @@ impl SlicerInstance {
         let sub_receipt = chain.send_transaction(tx)?;
         let verify_wall = self.elapsed(verify_start);
         let verified = sub_receipt.status.is_success() && sub_receipt.output == [1];
+        // The submit transaction's gas splits between the Verify phase
+        // (everything but the escrow transfer) and the Settle phase (the
+        // transfer) — see the phase-gas attribution below. The span attrs
+        // carry the same split so a gas-weighted profile fold over sibling
+        // spans sums to the transaction totals without double-counting.
+        let settle_gas = sub_receipt.gas_breakdown.transfer;
         if verify_span.is_recording() {
-            verify_span.attr("gas.used", sub_receipt.gas_used);
+            verify_span.attr("gas.used", sub_receipt.gas_used - settle_gas);
             verify_span.attr("tx.hash", hex_bytes(&sub_receipt.tx_hash.0));
             verify_span.attr("verified", verified);
         }
@@ -528,7 +538,6 @@ impl SlicerInstance {
         // submit transaction splits into Verify (everything but the escrow
         // transfer) and Settle (the transfer). Search is off-chain. The
         // phase gas therefore sums exactly to request_gas + verify_gas.
-        let settle_gas = sub_receipt.gas_breakdown.transfer;
         let paid_cloud = verified && payment > 0;
         if settle_span.is_recording() {
             settle_span.attr("gas.used", settle_gas);

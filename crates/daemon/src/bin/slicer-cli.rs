@@ -8,15 +8,24 @@
 //! slicer-cli --connect <endpoint> metrics [--json | --check]
 //! slicer-cli --connect <endpoint> tail [<n>]
 //! slicer-cli --connect <endpoint> top [--interval-ms <n>]
+//! slicer-cli --connect <endpoint> profile [--svg] [--gas] [--check]
 //! slicer-cli --connect <endpoint> shutdown
 //! slicer-cli flightrec <path>
+//! slicer-cli bench-diff <baseline.json> <candidate.json> [--timing-rel <pct>]
 //! ```
 //!
+//! `profile` pulls the daemon's live span aggregate as collapsed stacks
+//! (`stack;frames weight` folded text, ready for any flamegraph tool) or
+//! a self-contained SVG flamegraph; `--gas` switches the weights from
+//! wall-nanoseconds to gas units, and `--check` reconciles the profile
+//! against the metrics surface instead of printing it.
+//!
 //! `flightrec` decodes a crash flight-recorder segment straight from
-//! disk and needs no daemon. Exit status: 0 on success; 1 when a search
-//! is unverified, the chain fails verification, or a flight recording
-//! shows an in-flight (crashed) request; 2 on usage, transport, daemon
-//! or validation errors.
+//! disk and `bench-diff` compares two bench-JSON documents — neither
+//! needs a daemon. Exit status: 0 on success; 1 when a search is
+//! unverified, the chain fails verification, a flight recording shows an
+//! in-flight (crashed) request, or a bench diff finds a regression; 2 on
+//! usage, transport, daemon or validation errors.
 
 use slicer_core::Query;
 use slicer_daemon::{
@@ -37,8 +46,10 @@ fn main() {
 const USAGE: &str = "usage: slicer-cli --connect <endpoint> \
                      (ingest <id>:<value>... | search (eq|lt|gt) <value> [--payment <n>] \
                      | verify | stat | metrics [--json|--check] | tail [<n>] \
-                     | top [--interval-ms <n>] | shutdown) \
-                     — or: slicer-cli flightrec <path>";
+                     | top [--interval-ms <n>] | profile [--svg] [--gas] [--check] \
+                     | shutdown) \
+                     — or: slicer-cli flightrec <path> \
+                     — or: slicer-cli bench-diff <baseline.json> <candidate.json> [--timing-rel <pct>]";
 
 fn run(args: Vec<String>) -> Result<i32, DaemonError> {
     let mut it = args.iter();
@@ -60,9 +71,13 @@ fn run(args: Vec<String>) -> Result<i32, DaemonError> {
         }
     }
     let (name, rest) = command.ok_or_else(|| DaemonError::Config(USAGE.into()))?;
-    // The flight-recorder decoder reads a file, not a socket.
+    // The flight-recorder decoder and the bench comparator read files,
+    // not a socket.
     if name == "flightrec" {
         return flightrec(&rest);
+    }
+    if name == "bench-diff" {
+        return bench_diff(&rest);
     }
     let endpoint = connect.ok_or_else(|| DaemonError::Config("--connect is required".into()))?;
     let mut client = DaemonClient::connect(&endpoint)?;
@@ -74,6 +89,7 @@ fn run(args: Vec<String>) -> Result<i32, DaemonError> {
         "metrics" => metrics(&mut client, &rest),
         "tail" => tail(&mut client, &rest),
         "top" => top(&mut client, &rest),
+        "profile" => profile(&mut client, &rest),
         "shutdown" => {
             client.shutdown()?;
             println!("shutdown acknowledged");
@@ -334,16 +350,31 @@ fn top(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
             errors.join(" ")
         }
     );
+    let gauge = |name: &str| {
+        second
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
     println!(
-        "{:<18} {:>8} {:>10} {:>10} {:>10}",
+        "inflight {}   dropped_events {}",
+        gauge("rpc.inflight"),
+        gauge("telemetry.events.dropped")
+    );
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10}",
         "rpc", "count", "p50us", "p90us", "p99us"
     );
+    // Per-RPC service latency, plus the connection-lifetime histogram so
+    // long-lived client connections are visible next to the request mix.
     for (name, h) in &second.histograms {
-        if !name.starts_with("rpc.") || h.count == 0 {
+        let shown = name.starts_with("rpc.") || name == "net.connection.lifetime.ns";
+        if !shown || h.count == 0 {
             continue;
         }
         println!(
-            "{:<18} {:>8} {:>10} {:>10} {:>10}",
+            "{:<22} {:>8} {:>10} {:>10} {:>10}",
             name.trim_end_matches(".ns"),
             h.count,
             h.p50 / 1_000,
@@ -352,6 +383,160 @@ fn top(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
         );
     }
     Ok(0)
+}
+
+/// `profile [--svg] [--gas]` — pull the daemon's live span aggregate.
+/// Default prints folded stacks (`frame;frame;frame weight`, one stack
+/// per line — pipe into any flamegraph renderer); `--svg` prints a
+/// self-contained SVG flamegraph instead. `--gas` weighs frames by gas
+/// units rather than wall nanoseconds. `--check` reconciles the profile
+/// against the metrics surface instead of printing it: gas totals must
+/// equal the `phase.*.gas` counters exactly, wall totals must stay
+/// within the `rpc.*.ns` histogram envelope, and the SVG must pass the
+/// in-crate XML well-formedness checker.
+fn profile(client: &mut DaemonClient, rest: &[String]) -> Result<i32, DaemonError> {
+    let mut svg = false;
+    let mut gas = false;
+    let mut check = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--svg" => svg = true,
+            "--gas" => gas = true,
+            "--check" => check = true,
+            other => {
+                return Err(DaemonError::Config(format!(
+                    "unknown profile flag {other}, want --svg|--gas|--check"
+                )))
+            }
+        }
+    }
+    if check {
+        return profile_check(client);
+    }
+    let reply = client.profile(svg, gas)?;
+    print!("{}", reply.rendered);
+    if !reply.rendered.ends_with('\n') {
+        println!();
+    }
+    eprintln!(
+        "slicer-cli: profile format={} mode={} total={} stacks={} dropped_stacks={}",
+        reply.format, reply.mode, reply.total, reply.stacks, reply.dropped_stacks
+    );
+    Ok(0)
+}
+
+/// The `profile --check` reconciliation pass. Three RPCs (folded wall,
+/// folded gas, SVG) plus one metrics scrape, then three verdicts:
+///
+/// * `svg` — the rendered flamegraph is well-formed XML.
+/// * `wall` — the `daemon.request` root's inclusive wall total in the
+///   profile does not exceed the summed `rpc.*.ns` histograms (the
+///   histograms are scraped *after* the profile, so they cover a
+///   superset of the profiled requests).
+/// * `gas` — the profile's gas total equals the summed `phase.*.gas`
+///   counters exactly; both surfaces are fed by the same span
+///   attributes, so any drift means lost or double-counted gas.
+fn profile_check(client: &mut DaemonClient) -> Result<i32, DaemonError> {
+    let wall = client.profile(false, false)?;
+    let gas = client.profile(false, true)?;
+    let svg = client.profile(true, false)?;
+    let metrics = client.metrics()?;
+
+    let mut ok = true;
+    match slicer_telemetry::xml::check(&svg.rendered) {
+        Ok(()) => println!("profile-check svg=ok bytes={}", svg.rendered.len()),
+        Err(e) => {
+            ok = false;
+            println!("profile-check svg=INVALID error={e}");
+        }
+    }
+
+    let wall_root: u64 = wall
+        .rendered
+        .lines()
+        .filter_map(|line| {
+            let (stack, weight) = line.rsplit_once(' ')?;
+            let first = stack.split(';').next().unwrap_or(stack);
+            (first == "daemon.request").then(|| weight.parse::<u64>().ok())?
+        })
+        .sum();
+    let rpc_ns: u64 = metrics
+        .histograms
+        .iter()
+        .filter(|(n, _)| n.starts_with("rpc.") && n.ends_with(".ns"))
+        .map(|(_, h)| h.sum)
+        .sum();
+    if wall_root <= rpc_ns {
+        println!("profile-check wall=ok profile_ns={wall_root} rpc_ns={rpc_ns}");
+    } else {
+        ok = false;
+        println!("profile-check wall=INVALID profile_ns={wall_root} rpc_ns={rpc_ns}");
+    }
+
+    let phase_gas: u64 = metrics
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("phase.") && n.ends_with(".gas"))
+        .map(|(_, v)| *v)
+        .sum();
+    if gas.total == phase_gas {
+        println!(
+            "profile-check gas=ok profile_gas={} counters_gas={phase_gas}",
+            gas.total
+        );
+    } else {
+        ok = false;
+        println!(
+            "profile-check gas=INVALID profile_gas={} counters_gas={phase_gas}",
+            gas.total
+        );
+    }
+    println!(
+        "profile-check stacks={} dropped_stacks={}",
+        wall.stacks, wall.dropped_stacks
+    );
+    Ok(if ok { 0 } else { 2 })
+}
+
+/// `bench-diff <baseline> <candidate> [--timing-rel <pct>]` — compare
+/// two bench-JSON documents with the testkit comparator. Deterministic
+/// metrics (counters, gauges, histogram counts) must match exactly;
+/// timing metrics are informational unless `--timing-rel` supplies a
+/// tolerance in percent. Exit 0 when clean, 1 on regression.
+fn bench_diff(rest: &[String]) -> Result<i32, DaemonError> {
+    let mut paths = Vec::new();
+    let mut config = slicer_testkit::DiffConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timing-rel" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DaemonError::Config("--timing-rel needs a value".into()))?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| DaemonError::Config(format!("bad --timing-rel {v:?}")))?;
+                config.timing_rel = Some(pct / 100.0);
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err(DaemonError::Config(
+            "bench-diff wants exactly two files: <baseline.json> <candidate.json>".into(),
+        ));
+    };
+    let load = |path: &str| -> Result<slicer_testkit::BenchDoc, DaemonError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DaemonError::Config(format!("cannot read {path}: {e}")))?;
+        slicer_testkit::parse_bench_json(&text)
+            .map_err(|e| DaemonError::Config(format!("{path}: {e}")))
+    };
+    let old = load(baseline)?;
+    let new = load(candidate)?;
+    let report = slicer_testkit::diff(&old, &new, &config);
+    print!("{}", report.render());
+    Ok(if report.ok() { 0 } else { 1 })
 }
 
 fn counter(reply: &MetricsReply, name: &str) -> u64 {
@@ -402,6 +587,20 @@ fn flightrec(rest: &[String]) -> Result<i32, DaemonError> {
         print!("{}", rec.log);
         if !rec.log.ends_with('\n') {
             println!();
+        }
+    }
+    // Version-2 recordings embed the daemon's final profile, so a crash
+    // dump carries its own flamegraph input.
+    for (title, folded) in [
+        ("wall profile (folded)", &rec.profile_wall),
+        ("gas profile (folded)", &rec.profile_gas),
+    ] {
+        if !folded.is_empty() {
+            println!("--- {title} ---");
+            print!("{folded}");
+            if !folded.ends_with('\n') {
+                println!();
+            }
         }
     }
     Ok(if crashed { 1 } else { 0 })

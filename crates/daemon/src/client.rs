@@ -183,6 +183,34 @@ impl DaemonClient {
         }
     }
 
+    /// Fetches a live profile from the daemon: folded stacks or a
+    /// rendered SVG flamegraph, weighted by wall-time or gas.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`DaemonError::Remote`] when the daemon
+    /// was booted without a profile aggregator.
+    pub fn profile(&mut self, svg: bool, gas: bool) -> Result<ProfileReply, DaemonError> {
+        match self.call(RequestBody::Profile { svg, gas })? {
+            ResponseBody::ProfileReport {
+                format,
+                mode,
+                rendered,
+                total,
+                stacks,
+                dropped_stacks,
+            } => Ok(ProfileReply {
+                format,
+                mode,
+                rendered,
+                total,
+                stacks,
+                dropped_stacks,
+            }),
+            other => Err(unexpected("ProfileReport", &other)),
+        }
+    }
+
     /// Asks the daemon to exit after acknowledging.
     ///
     /// # Errors
@@ -239,6 +267,23 @@ pub struct MetricsReply {
     pub gauges: Vec<(String, u64)>,
     /// Histogram names and summaries, sorted by name.
     pub histograms: Vec<(String, WireHistogram)>,
+}
+
+/// A [`DaemonClient::profile`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReply {
+    /// `"folded"` or `"svg"`.
+    pub format: String,
+    /// `"wall"` or `"gas"`.
+    pub mode: String,
+    /// The rendered profile in the requested format.
+    pub rendered: String,
+    /// Total self-weight across all stacks (ns or gas units).
+    pub total: u64,
+    /// Number of distinct stacks in the profile.
+    pub stacks: u64,
+    /// Stacks discarded once the aggregator hit its cap.
+    pub dropped_stacks: u64,
 }
 
 /// A [`DaemonClient::stat`] result.

@@ -15,16 +15,23 @@
 //! recording fails checksum validation on read instead of decoding
 //! garbage.
 //!
-//! Segment layout (three frames behind the standard `SLCSEG1\0` magic):
+//! Segment layout (frames behind the standard `SLCSEG1\0` magic):
 //!
 //! ```text
 //! frame 0   FlightHeader  { version, reason, next_seq }
 //! frame 1   Vec<FlightRecord>   oldest → newest
 //! frame 2   String              log tail, JSON lines
+//! frame 3   String              folded wall profile   (version ≥ 2)
+//! frame 4   String              folded gas profile    (version ≥ 2)
 //! ```
+//!
+//! Version 2 embeds the daemon's final collapsed-stack profile (when a
+//! [`ProfileAggregator`] is attached), so a crash dump answers not just
+//! "what was running" but "where the time and gas had gone". Version-1
+//! recordings (three frames) still load, with empty profiles.
 
 use crate::error::DaemonError;
-use slicer_telemetry::MemoryLogSink;
+use slicer_telemetry::{MemoryLogSink, ProfileAggregator, ProfileMode};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -33,7 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub const FLIGHTREC_FILE: &str = "flightrec.slc";
 
 /// Recording format version (frame-0 header field).
-const FLIGHTREC_VERSION: u32 = 1;
+const FLIGHTREC_VERSION: u32 = 2;
 
 /// Outcome marker of a request entry that is still executing. A
 /// recording whose newest entry carries this outcome names the request
@@ -92,6 +99,9 @@ struct RecorderInner {
     /// The daemon's log ring; its tail is embedded in every persist so
     /// the post-mortem carries the words alongside the requests.
     logs: Arc<MemoryLogSink>,
+    /// The daemon's live profile aggregator, when profiling is on; its
+    /// folded wall and gas stacks are embedded in every persist.
+    profile: Option<Arc<ProfileAggregator>>,
     state: Mutex<RecorderState>,
 }
 
@@ -104,13 +114,20 @@ pub struct FlightRecorder {
 
 impl FlightRecorder {
     /// A recorder persisting to `path`, retaining the last `capacity`
-    /// requests (min 1) and embedding the tail of `logs`.
-    pub fn new(path: PathBuf, capacity: usize, logs: Arc<MemoryLogSink>) -> Self {
+    /// requests (min 1), embedding the tail of `logs` and — when
+    /// `profile` is supplied — the live folded wall/gas profiles.
+    pub fn new(
+        path: PathBuf,
+        capacity: usize,
+        logs: Arc<MemoryLogSink>,
+        profile: Option<Arc<ProfileAggregator>>,
+    ) -> Self {
         FlightRecorder {
             inner: Arc::new(RecorderInner {
                 path,
                 capacity: capacity.max(1),
                 logs,
+                profile,
                 state: Mutex::new(RecorderState {
                     ring: VecDeque::new(),
                     next_seq: 1,
@@ -193,10 +210,22 @@ impl FlightRecorder {
             reason: reason.to_string(),
             next_seq,
         };
+        let (profile_wall, profile_gas) = match &self.inner.profile {
+            Some(agg) => {
+                let p = agg.snapshot();
+                (
+                    p.to_folded(ProfileMode::Wall),
+                    p.to_folded(ProfileMode::Gas),
+                )
+            }
+            None => (String::new(), String::new()),
+        };
         let frames = vec![
             slicer_crypto::codec::to_bytes(&header)?,
             slicer_crypto::codec::to_bytes(&records)?,
             slicer_crypto::codec::to_bytes(&self.inner.logs.transcript())?,
+            slicer_crypto::codec::to_bytes(&profile_wall)?,
+            slicer_crypto::codec::to_bytes(&profile_gas)?,
         ];
         let tmp = self.inner.path.with_extension("slc.tmp");
         slicer_persist::write_frames(&tmp, &frames)?;
@@ -217,6 +246,11 @@ pub struct FlightRecording {
     pub requests: Vec<FlightRecord>,
     /// The embedded log tail, JSON lines.
     pub log: String,
+    /// Folded wall-weighted profile (empty in v1 recordings or when the
+    /// daemon ran without profiling).
+    pub profile_wall: String,
+    /// Folded gas-weighted profile (likewise possibly empty).
+    pub profile_gas: String,
 }
 
 impl FlightRecording {
@@ -235,7 +269,7 @@ impl FlightRecording {
                 .ok_or_else(|| DaemonError::Protocol(format!("flightrec missing {what} frame")))
         };
         let header: FlightHeader = slicer_crypto::codec::from_bytes(frame("header")?)?;
-        if header.version != FLIGHTREC_VERSION {
+        if !(1..=FLIGHTREC_VERSION).contains(&header.version) {
             return Err(DaemonError::Protocol(format!(
                 "unsupported flightrec version {}",
                 header.version
@@ -243,11 +277,22 @@ impl FlightRecording {
         }
         let requests: Vec<FlightRecord> = slicer_crypto::codec::from_bytes(frame("requests")?)?;
         let log: String = slicer_crypto::codec::from_bytes(frame("log")?)?;
+        // Version 1 recordings stop after the log frame.
+        let (profile_wall, profile_gas) = if header.version >= 2 {
+            (
+                slicer_crypto::codec::from_bytes(frame("profile_wall")?)?,
+                slicer_crypto::codec::from_bytes(frame("profile_gas")?)?,
+            )
+        } else {
+            (String::new(), String::new())
+        };
         Ok(FlightRecording {
             reason: header.reason,
             next_seq: header.next_seq,
             requests,
             log,
+            profile_wall,
+            profile_gas,
         })
     }
 
@@ -284,7 +329,7 @@ mod tests {
     #[test]
     fn begin_persists_an_in_flight_entry_before_the_request_runs() {
         let path = tmp("begin");
-        let rec = FlightRecorder::new(path.clone(), 4, log_ring());
+        let rec = FlightRecorder::new(path.clone(), 4, log_ring(), None);
         let (seq, err) = rec.begin(42, "search", 100);
         assert!(err.is_none(), "{err:?}");
 
@@ -308,7 +353,7 @@ mod tests {
     #[test]
     fn ring_evicts_oldest_and_seq_keeps_counting() {
         let path = tmp("evict");
-        let rec = FlightRecorder::new(path.clone(), 2, log_ring());
+        let rec = FlightRecorder::new(path.clone(), 2, log_ring(), None);
         for i in 0..4u64 {
             let (seq, _) = rec.begin(i, "stat", i * 10);
             rec.end(seq, 1, "ok");
@@ -325,7 +370,7 @@ mod tests {
     #[test]
     fn explicit_persist_stamps_the_reason() {
         let path = tmp("reason");
-        let rec = FlightRecorder::new(path.clone(), 4, log_ring());
+        let rec = FlightRecorder::new(path.clone(), 4, log_ring(), None);
         rec.persist("shutdown").unwrap();
         assert_eq!(FlightRecording::load(&path).unwrap().reason, "shutdown");
         // Clones (panic hook) share the same ring and path.
@@ -338,9 +383,76 @@ mod tests {
     }
 
     #[test]
+    fn persist_embeds_the_live_profile() {
+        use slicer_telemetry::{Event, Sink, SpanId, TraceId};
+        let path = tmp("profile");
+        let agg = Arc::new(ProfileAggregator::new());
+        agg.record(Event::SpanEnd {
+            trace: TraceId(1),
+            span: SpanId(1),
+            parent: None,
+            name: "daemon.request".into(),
+            start_ns: 0,
+            duration_ns: 40,
+            attrs: vec![("gas.used", slicer_telemetry::AttrValue::U64(9))],
+        });
+        let rec = FlightRecorder::new(path.clone(), 4, log_ring(), Some(agg));
+        rec.persist("shutdown").unwrap();
+        let loaded = FlightRecording::load(&path).unwrap();
+        assert_eq!(loaded.profile_wall, "daemon.request 40\n");
+        assert_eq!(loaded.profile_gas, "daemon.request 9\n");
+    }
+
+    #[test]
+    fn version_1_recordings_still_load_with_empty_profiles() {
+        // Hand-assemble a three-frame v1 segment, as an old daemon
+        // would have written it.
+        let path = tmp("v1");
+        let header = FlightHeader {
+            version: 1,
+            reason: "shutdown".into(),
+            next_seq: 3,
+        };
+        let records = vec![FlightRecord {
+            seq: 2,
+            trace_id: 0,
+            kind: "stat".into(),
+            start_ns: 1,
+            duration_ns: 2,
+            outcome: "ok".into(),
+        }];
+        let frames = vec![
+            slicer_crypto::codec::to_bytes(&header).unwrap(),
+            slicer_crypto::codec::to_bytes(&records).unwrap(),
+            slicer_crypto::codec::to_bytes(&String::from("{}\n")).unwrap(),
+        ];
+        slicer_persist::write_frames(&path, &frames).unwrap();
+        let loaded = FlightRecording::load(&path).unwrap();
+        assert_eq!(loaded.reason, "shutdown");
+        assert_eq!(loaded.requests, records);
+        assert!(loaded.profile_wall.is_empty());
+        assert!(loaded.profile_gas.is_empty());
+        // An unknown future version is still rejected.
+        let bad = FlightHeader {
+            version: 99,
+            ..header
+        };
+        let frames = vec![
+            slicer_crypto::codec::to_bytes(&bad).unwrap(),
+            slicer_crypto::codec::to_bytes(&Vec::<FlightRecord>::new()).unwrap(),
+            slicer_crypto::codec::to_bytes(&String::new()).unwrap(),
+        ];
+        slicer_persist::write_frames(&path, &frames).unwrap();
+        assert!(matches!(
+            FlightRecording::load(&path),
+            Err(DaemonError::Protocol(_))
+        ));
+    }
+
+    #[test]
     fn corrupted_recording_fails_validation() {
         let path = tmp("corrupt");
-        let rec = FlightRecorder::new(path.clone(), 4, log_ring());
+        let rec = FlightRecorder::new(path.clone(), 4, log_ring(), None);
         rec.persist("shutdown").unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 40; // inside a payload, not the magic

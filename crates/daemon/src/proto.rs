@@ -64,6 +64,13 @@ pub enum RequestBody {
         /// How many records to return (capped by the daemon's ring).
         count: u64,
     },
+    /// Fetch the daemon's live accumulated collapsed-stack profile.
+    Profile {
+        /// Render an SVG flamegraph instead of folded text.
+        svg: bool,
+        /// Weight stacks by gas instead of wall nanoseconds.
+        gas: bool,
+    },
 }
 
 impl RequestBody {
@@ -78,6 +85,7 @@ impl RequestBody {
             RequestBody::Shutdown => "shutdown",
             RequestBody::Metrics => "metrics",
             RequestBody::Tail { .. } => "tail",
+            RequestBody::Profile { .. } => "profile",
         }
     }
 
@@ -92,6 +100,7 @@ impl RequestBody {
             RequestBody::Shutdown => "rpc.shutdown.ns",
             RequestBody::Metrics => "rpc.metrics.ns",
             RequestBody::Tail { .. } => "rpc.tail.ns",
+            RequestBody::Profile { .. } => "rpc.profile.ns",
         }
     }
 }
@@ -116,6 +125,11 @@ impl Encode for RequestBody {
                 6u32.encode(out);
                 count.encode(out);
             }
+            RequestBody::Profile { svg, gas } => {
+                7u32.encode(out);
+                svg.encode(out);
+                gas.encode(out);
+            }
         }
     }
 }
@@ -136,6 +150,10 @@ impl Decode for RequestBody {
             5 => Ok(RequestBody::Metrics),
             6 => Ok(RequestBody::Tail {
                 count: u64::decode(reader)?,
+            }),
+            7 => Ok(RequestBody::Profile {
+                svg: bool::decode(reader)?,
+                gas: bool::decode(reader)?,
             }),
             v => Err(CodecError::msg(format!("invalid RequestBody variant {v}"))),
         }
@@ -234,6 +252,21 @@ pub enum ResponseBody {
         lines: Vec<String>,
         /// Records the daemon's ring has evicted so far.
         dropped: u64,
+    },
+    /// The live collapsed-stack profile, rendered as requested.
+    ProfileReport {
+        /// `"folded"` or `"svg"` — what `rendered` holds.
+        format: String,
+        /// `"wall"` or `"gas"` — the weighting used.
+        mode: String,
+        /// The rendered document (folded text or SVG).
+        rendered: String,
+        /// Total weight across all stacks (ns or gas per `mode`).
+        total: u64,
+        /// Distinct stacks in the profile.
+        stacks: u64,
+        /// Stacks the aggregator discarded at its cap.
+        dropped_stacks: u64,
     },
 }
 
@@ -379,6 +412,22 @@ impl Encode for ResponseBody {
                 lines.encode(out);
                 dropped.encode(out);
             }
+            ResponseBody::ProfileReport {
+                format,
+                mode,
+                rendered,
+                total,
+                stacks,
+                dropped_stacks,
+            } => {
+                8u32.encode(out);
+                format.encode(out);
+                mode.encode(out);
+                rendered.encode(out);
+                total.encode(out);
+                stacks.encode(out);
+                dropped_stacks.encode(out);
+            }
         }
     }
 }
@@ -427,6 +476,14 @@ impl Decode for ResponseBody {
             7 => Ok(ResponseBody::LogTail {
                 lines: Vec::decode(reader)?,
                 dropped: u64::decode(reader)?,
+            }),
+            8 => Ok(ResponseBody::ProfileReport {
+                format: String::decode(reader)?,
+                mode: String::decode(reader)?,
+                rendered: String::decode(reader)?,
+                total: u64::decode(reader)?,
+                stacks: u64::decode(reader)?,
+                dropped_stacks: u64::decode(reader)?,
             }),
             v => Err(CodecError::msg(format!("invalid ResponseBody variant {v}"))),
         }
@@ -588,6 +645,13 @@ mod tests {
             trace_id: 4,
             body: RequestBody::Tail { count: 50 },
         });
+        roundtrip(Request {
+            trace_id: 5,
+            body: RequestBody::Profile {
+                svg: true,
+                gas: false,
+            },
+        });
     }
 
     #[test]
@@ -619,6 +683,14 @@ mod tests {
                 lines: vec!["{\"ts_ns\":1}".into(), "{\"ts_ns\":2}".into()],
                 dropped: 3,
             },
+            ResponseBody::ProfileReport {
+                format: "folded".into(),
+                mode: "gas".into(),
+                rendered: "daemon.request;protocol.search 42\n".into(),
+                total: 42,
+                stacks: 1,
+                dropped_stacks: 0,
+            },
         ] {
             let resp = Response { trace_id: 8, body };
             let mut wire = Vec::new();
@@ -641,6 +713,10 @@ mod tests {
             RequestBody::Shutdown,
             RequestBody::Metrics,
             RequestBody::Tail { count: 1 },
+            RequestBody::Profile {
+                svg: false,
+                gas: true,
+            },
         ];
         for body in &bodies {
             assert!(!body.kind().is_empty());

@@ -23,7 +23,10 @@ use crate::proto::{
 use slicer_chain::Blockchain;
 use slicer_core::{Query, RecordId, SlicerConfig, SlicerInstance};
 use slicer_persist::{SegmentStore, Snapshot};
-use slicer_telemetry::{Level, MemoryLogSink, TelemetryHandle, TraceId};
+use slicer_telemetry::{
+    FanoutSink, Level, MemoryLogSink, MemorySink, MonotonicClock, ProfileAggregator, ProfileMode,
+    Sink, TelemetryHandle, TraceId,
+};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -48,6 +51,9 @@ pub struct DaemonConfig {
     pub log_ring: usize,
     /// How many recent requests the flight recorder retains.
     pub flightrec_requests: usize,
+    /// Capacity of the bounded telemetry event ring a profiled daemon
+    /// retains (see [`instrumented_telemetry`]).
+    pub event_ring: usize,
 }
 
 impl Default for DaemonConfig {
@@ -58,8 +64,33 @@ impl Default for DaemonConfig {
             slow_request_ns: 250_000_000,
             log_ring: slicer_telemetry::DEFAULT_LOG_RING,
             flightrec_requests: 64,
+            event_ring: DEFAULT_EVENT_RING,
         }
     }
+}
+
+/// Default capacity of the daemon's bounded span-event ring: enough for
+/// thousands of requests' spans, bounded so a long-lived `slicerd`
+/// cannot grow without limit (evictions are counted, not silent).
+pub const DEFAULT_EVENT_RING: usize = 65_536;
+
+/// Builds the telemetry stack `slicerd` boots with: a live handle whose
+/// event stream fans out to a [`ProfileAggregator`] (the live flamegraph
+/// fold) and a bounded [`MemorySink`] ring of capacity `event_ring`
+/// (recent raw events, eviction-counted). Pass the returned aggregator
+/// and ring to [`Daemon::open_profiled`] so the `Profile` RPC, the
+/// flight recorder and the `telemetry.events.dropped` gauge see them.
+pub fn instrumented_telemetry(
+    event_ring: usize,
+) -> (TelemetryHandle, Arc<ProfileAggregator>, Arc<MemorySink>) {
+    let profile = Arc::new(ProfileAggregator::new());
+    let events = Arc::new(MemorySink::with_capacity(event_ring));
+    let fanout = FanoutSink::new(vec![
+        Arc::clone(&profile) as Arc<dyn Sink>,
+        Arc::clone(&events) as Arc<dyn Sink>,
+    ]);
+    let telemetry = TelemetryHandle::with(Arc::new(MonotonicClock::new()), Arc::new(fanout));
+    (telemetry, profile, events)
 }
 
 /// How the daemon came up: fresh setup or restored from disk.
@@ -87,6 +118,10 @@ pub struct Daemon {
     meter: Meter,
     log_ring: Arc<MemoryLogSink>,
     flightrec: FlightRecorder,
+    /// The live collapsed-stack fold, when profiling is enabled.
+    profile: Option<Arc<ProfileAggregator>>,
+    /// The bounded raw-event ring, when profiling is enabled.
+    events: Option<Arc<MemorySink>>,
 }
 
 impl Daemon {
@@ -105,6 +140,26 @@ impl Daemon {
         data_dir: &Path,
         config: DaemonConfig,
         telemetry: TelemetryHandle,
+    ) -> Result<Self, DaemonError> {
+        Self::open_profiled(data_dir, config, telemetry, None, None)
+    }
+
+    /// [`Daemon::open`] plus the profiling plane: `profile` is the
+    /// aggregator the handle's sink already feeds (see
+    /// [`instrumented_telemetry`]) — the daemon serves its snapshots via
+    /// the `Profile` RPC and embeds its folded stacks in flight
+    /// recordings; `events` is the bounded raw-event ring whose
+    /// evictions surface in the `telemetry.events.dropped` gauge.
+    ///
+    /// # Errors
+    ///
+    /// As [`Daemon::open`].
+    pub fn open_profiled(
+        data_dir: &Path,
+        config: DaemonConfig,
+        telemetry: TelemetryHandle,
+        profile: Option<Arc<ProfileAggregator>>,
+        events: Option<Arc<MemorySink>>,
     ) -> Result<Self, DaemonError> {
         if !(1..=64).contains(&config.value_bits) {
             return Err(DaemonError::Config(format!(
@@ -125,6 +180,7 @@ impl Daemon {
             data_dir.join(FLIGHTREC_FILE),
             config.flightrec_requests,
             log_ring.clone(),
+            profile.clone(),
         );
         let boot_ns = telemetry.now_nanos();
 
@@ -155,6 +211,8 @@ impl Daemon {
                     meter: Meter::new(),
                     log_ring,
                     flightrec,
+                    profile,
+                    events,
                 };
                 let restored = daemon.digest();
                 if restored != expected {
@@ -189,6 +247,8 @@ impl Daemon {
                     meter: Meter::new(),
                     log_ring,
                     flightrec,
+                    profile,
+                    events,
                 }
             }
         };
@@ -244,6 +304,10 @@ impl Daemon {
     pub fn handle(&mut self, request: &Request) -> Response {
         let kind = request.body.kind();
         self.telemetry.count("rpc.requests", 1);
+        // The daemon dispatches sequentially, so in-flight is 0 or 1 —
+        // but a scrape served *during* a request (Metrics is itself a
+        // request) truthfully reports 1.
+        self.telemetry.gauge("rpc.inflight", 1);
         let start_ns = self.telemetry.now_nanos();
         let (seq, persist_err) = self.flightrec.begin(request.trace_id, kind, start_ns);
         if let Some(e) = persist_err {
@@ -261,6 +325,7 @@ impl Daemon {
             RequestBody::Shutdown => Ok(ResponseBody::ShuttingDown),
             RequestBody::Metrics => Ok(self.metrics_report()),
             RequestBody::Tail { count } => Ok(self.tail(*count)),
+            RequestBody::Profile { svg, gas } => self.profile_report(*svg, *gas),
         }
         .unwrap_or_else(|e| ResponseBody::Error(e.to_string()));
         let outcome = match &body {
@@ -294,6 +359,7 @@ impl Daemon {
         if let Some(e) = self.flightrec.end(seq, duration_ns, &outcome) {
             self.warn_persist(&e);
         }
+        self.telemetry.gauge("rpc.inflight", 0);
         Response { trace_id, body }
     }
 
@@ -368,6 +434,12 @@ impl Daemon {
         self.telemetry
             .gauge("net.bytes_out", self.meter.bytes_out());
         self.telemetry.gauge("log.dropped", self.log_ring.dropped());
+        // Telemetry-plane losses: event-ring evictions plus profile
+        // stacks discarded at the aggregator's cap.
+        let events_dropped = self.events.as_ref().map_or(0, |e| e.dropped())
+            + self.profile.as_ref().map_or(0, |p| p.dropped_stacks());
+        self.telemetry
+            .gauge("telemetry.events.dropped", events_dropped);
         let snap = self.telemetry.snapshot();
         ResponseBody::MetricsReport {
             uptime_ns: self.telemetry.now_nanos().saturating_sub(self.boot_ns),
@@ -387,6 +459,34 @@ impl Daemon {
                 .map(|(name, h)| (name.clone(), h.into()))
                 .collect(),
         }
+    }
+
+    fn profile_report(&self, svg: bool, gas: bool) -> Result<ResponseBody, DaemonError> {
+        let Some(agg) = &self.profile else {
+            return Err(DaemonError::Config(
+                "profiling is not enabled on this daemon (no profile aggregator attached)".into(),
+            ));
+        };
+        let profile = agg.snapshot();
+        let mode = if gas {
+            ProfileMode::Gas
+        } else {
+            ProfileMode::Wall
+        };
+        let mode_name = if gas { "gas" } else { "wall" };
+        let rendered = if svg {
+            profile.to_svg(mode, &format!("slicerd {mode_name} profile"))
+        } else {
+            profile.to_folded(mode)
+        };
+        Ok(ResponseBody::ProfileReport {
+            format: if svg { "svg" } else { "folded" }.to_string(),
+            mode: mode_name.to_string(),
+            rendered,
+            total: profile.total(mode),
+            stacks: profile.entries.len() as u64,
+            dropped_stacks: profile.dropped_stacks,
+        })
     }
 
     fn tail(&self, count: u64) -> ResponseBody {
@@ -440,7 +540,13 @@ impl Daemon {
                 }
             };
             self.telemetry.count("net.connections", 1);
-            match self.serve_connection(MeteredStream::new(stream, self.meter.clone())) {
+            let conn_start_ns = self.telemetry.now_nanos();
+            let served = self.serve_connection(MeteredStream::new(stream, self.meter.clone()));
+            self.telemetry.observe_ns(
+                "net.connection.lifetime.ns",
+                self.telemetry.now_nanos().saturating_sub(conn_start_ns),
+            );
+            match served {
                 Ok(true) => return Ok(()),
                 Ok(false) => {}
                 Err(e) => {
@@ -780,6 +886,133 @@ mod tests {
             .any(|r| r.kind == "stat" && r.outcome == "ok"));
         let in_flight = rec.in_flight().expect("one in-flight request");
         assert_eq!(in_flight.kind, "metrics");
+    }
+
+    #[test]
+    fn profile_rpc_serves_stacks_that_reconcile_with_gas_counters() {
+        use slicer_telemetry::{LogicalClock, ProfileAggregator};
+        let dir = tmp("profile");
+        let profile = Arc::new(ProfileAggregator::new());
+        // A deliberately tiny event ring: the boot + request span
+        // traffic must overflow it, exercising eviction accounting.
+        let events = Arc::new(MemorySink::with_capacity(4));
+        let fanout = FanoutSink::new(vec![
+            Arc::clone(&profile) as Arc<dyn Sink>,
+            Arc::clone(&events) as Arc<dyn Sink>,
+        ]);
+        let telemetry =
+            TelemetryHandle::with(Arc::new(LogicalClock::with_step(100)), Arc::new(fanout));
+        let mut daemon =
+            Daemon::open_profiled(&dir, cfg(), telemetry.clone(), Some(profile), Some(events))
+                .unwrap();
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Ingest {
+                records: vec![(1, 10), (2, 20), (3, 30)],
+            },
+        });
+        daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Search {
+                query: Query::less_than(25),
+                payment: 1_000,
+            },
+        });
+
+        // Folded wall profile: per-request spans fold under one
+        // daemon.request root.
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Profile {
+                svg: false,
+                gas: false,
+            },
+        });
+        let ResponseBody::ProfileReport {
+            format,
+            mode,
+            rendered,
+            total,
+            stacks,
+            ..
+        } = resp.body
+        else {
+            panic!("want ProfileReport, got {:?}", resp.body);
+        };
+        assert_eq!(format, "folded");
+        assert_eq!(mode, "wall");
+        assert!(stacks > 0);
+        assert!(total > 0);
+        assert!(
+            rendered.lines().any(|l| l.starts_with("daemon.request;")),
+            "{rendered}"
+        );
+
+        // Gas profile total reconciles exactly with the phase gas
+        // counters (the span attrs carry the same settle/verify split).
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Profile {
+                svg: false,
+                gas: true,
+            },
+        });
+        let ResponseBody::ProfileReport { total, .. } = resp.body else {
+            panic!("want ProfileReport");
+        };
+        let phase_gas: u64 = ["setup", "build", "token", "search", "verify", "settle"]
+            .iter()
+            .map(|p| {
+                telemetry
+                    .counter_value(&format!("phase.{p}.gas"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(phase_gas > 0);
+        assert_eq!(total, phase_gas, "gas profile must match phase counters");
+
+        // SVG rendering is well-formed XML.
+        let resp = daemon.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Profile {
+                svg: true,
+                gas: false,
+            },
+        });
+        let ResponseBody::ProfileReport {
+            format, rendered, ..
+        } = resp.body
+        else {
+            panic!("want ProfileReport");
+        };
+        assert_eq!(format, "svg");
+        slicer_telemetry::xml::check(&rendered).expect("well-formed SVG");
+
+        // The tiny event ring overflowed; the scrape surfaces it, and
+        // the in-flight gauge reads 1 mid-request by construction.
+        let ResponseBody::MetricsReport { gauges, .. } = daemon.metrics_report() else {
+            panic!("want MetricsReport");
+        };
+        let gauge = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(gauge("telemetry.events.dropped") > 0);
+
+        // An unprofiled daemon answers Profile with a clean error.
+        let dir2 = tmp("unprofiled");
+        let mut plain = Daemon::open(&dir2, cfg(), TelemetryHandle::disabled()).unwrap();
+        let resp = plain.handle(&Request {
+            trace_id: 0,
+            body: RequestBody::Profile {
+                svg: false,
+                gas: false,
+            },
+        });
+        assert!(matches!(resp.body, ResponseBody::Error(_)));
     }
 
     #[test]

@@ -75,8 +75,10 @@ mod handle;
 pub mod json;
 mod log;
 mod metrics;
+mod profile;
 mod sink;
 mod trace;
+pub mod xml;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use export::{HistogramSummary, Snapshot};
@@ -86,5 +88,9 @@ pub use log::{
     DEFAULT_LOG_RING,
 };
 pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
-pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
+pub use profile::{
+    fold_events, Profile, ProfileAggregator, ProfileEntry, ProfileMode, DEFAULT_MAX_STACKS,
+    GAS_ATTR,
+};
+pub use sink::{Event, FanoutSink, JsonLinesSink, MemorySink, NullSink, Sink};
 pub use trace::{chrome_trace, AttrValue, Attrs, SpanContext, SpanId, TraceId};

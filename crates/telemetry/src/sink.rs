@@ -7,9 +7,11 @@
 //! registry); [`MemorySink`] records for tests; [`JsonLinesSink`] writes
 //! one JSON object per line for offline analysis.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::json;
 use crate::trace::{write_attrs_json, Attrs, SpanId, TraceId};
@@ -139,38 +141,76 @@ impl Sink for NullSink {
     fn record(&self, _event: Event) {}
 }
 
-/// Buffers events in memory, for tests and determinism comparisons.
-#[derive(Debug, Default)]
+/// Buffers events in memory — unbounded via [`MemorySink::new`] for
+/// tests and determinism comparisons, or as a fixed-capacity ring via
+/// [`MemorySink::with_capacity`] so a long-running daemon can retain a
+/// recent event window without unbounded growth (mirroring
+/// [`MemoryLogSink`](crate::MemoryLogSink)). When the ring is full the
+/// oldest event is evicted and counted in [`MemorySink::dropped`].
+#[derive(Debug)]
 pub struct MemorySink {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemorySink {
-    /// An empty sink.
+    /// An empty, effectively unbounded sink (the test/determinism
+    /// configuration — nothing is ever evicted).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(usize::MAX)
     }
 
-    /// A copy of every event recorded so far, in order.
+    /// An empty ring retaining the most recent `capacity` events
+    /// (minimum 1). Older events are evicted and counted as dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemorySink {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Telemetry must never take the process down: recover the buffer
+    /// from a poisoned lock instead of propagating the panic.
+    fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<Event>> {
+        match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A copy of every retained event, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("sink lock poisoned").clone()
+        self.locked().iter().cloned().collect()
     }
 
-    /// Number of events recorded so far.
+    /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("sink lock poisoned").len()
+        self.locked().len()
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The whole transcript as JSON lines — a canonical byte string for
-    /// byte-identical determinism assertions.
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained transcript as JSON lines — a canonical byte string
+    /// for byte-identical determinism assertions.
     pub fn transcript(&self) -> String {
         let mut out = String::new();
-        for e in self.events.lock().expect("sink lock poisoned").iter() {
+        for e in self.locked().iter() {
             out.push_str(&e.to_json());
             out.push('\n');
         }
@@ -180,7 +220,39 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: Event) {
-        self.events.lock().expect("sink lock poisoned").push(event);
+        let mut events = self.locked();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+/// Duplicates every event to each wrapped sink, in order — how `slicerd`
+/// feeds one span stream to both its
+/// [`ProfileAggregator`](crate::ProfileAggregator) and its bounded event
+/// ring.
+#[derive(Debug, Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A sink fanning out to `sinks` in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, event: Event) {
+        if let Some((last, rest)) = self.sinks.split_last() {
+            for sink in rest {
+                sink.record(event.clone());
+            }
+            last.record(event);
+        }
     }
 }
 
@@ -288,6 +360,56 @@ mod tests {
         for line in lines {
             assert!(json::parse(line).is_ok(), "invalid JSON line: {line}");
         }
+    }
+
+    #[test]
+    fn bounded_memory_sink_evicts_oldest_and_counts_drops() {
+        let sink = MemorySink::with_capacity(2);
+        for i in 0..5u64 {
+            sink.record(Event::Counter {
+                name: format!("c{i}"),
+                delta: i,
+            });
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let names: Vec<String> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { name, .. } => name.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["c3", "c4"], "oldest evicted first");
+        // The unbounded configuration never drops.
+        let unbounded = MemorySink::new();
+        for i in 0..5u64 {
+            unbounded.record(Event::Counter {
+                name: "x".into(),
+                delta: i,
+            });
+        }
+        assert_eq!(unbounded.len(), 5);
+        assert_eq!(unbounded.dropped(), 0);
+    }
+
+    #[test]
+    fn fanout_sink_duplicates_to_every_sink_in_order() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![a.clone() as _, b.clone() as _]);
+        fan.record(Event::Counter {
+            name: "n".into(),
+            delta: 7,
+        });
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 1);
+        // An empty fanout is inert, not a panic.
+        FanoutSink::default().record(Event::Counter {
+            name: "n".into(),
+            delta: 1,
+        });
     }
 
     #[test]

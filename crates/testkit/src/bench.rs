@@ -1,6 +1,12 @@
 //! A minimal monotonic-clock micro-benchmark runner for `harness = false`
 //! bench targets: warm up, pick a batch size, sample, report mean/min.
 //!
+//! Timing runs on [`slicer_telemetry::MonotonicClock`] through the
+//! [`Clock`] trait — the same nanosecond timebase every span and
+//! histogram in the workspace uses — so bench output, metrics exports
+//! and profile weights are directly comparable, and this crate holds no
+//! wall-clock calls of its own for the determinism lint to flag.
+//!
 //! ```no_run
 //! use slicer_testkit::bench::Bench;
 //!
@@ -10,8 +16,7 @@
 //! });
 //! ```
 
-use slicer_telemetry::{Metrics, Snapshot};
-use std::time::{Duration, Instant};
+use slicer_telemetry::{Clock, Metrics, MonotonicClock, Snapshot};
 
 /// Re-export: keep benched expressions out of the optimizer's reach.
 pub use std::hint::black_box;
@@ -21,22 +26,26 @@ pub use std::hint::black_box;
 /// as [`Snapshot::to_json`]).
 pub const BENCH_JSON_ENV: &str = "SLICER_BENCH_JSON";
 
+const NANOS_PER_MILLI: u64 = 1_000_000;
+
 /// A named group of micro-benchmarks sharing one timing configuration.
 #[derive(Debug)]
 pub struct Bench {
     group: String,
-    warmup: Duration,
-    measure: Duration,
+    warmup_ns: u64,
+    measure_ns: u64,
+    clock: MonotonicClock,
     metrics: Metrics,
 }
 
-/// Timing summary of one benchmark id.
+/// Timing summary of one benchmark id. All times are nanoseconds on the
+/// group's monotonic clock.
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
-    /// Mean wall-clock time per iteration.
-    pub mean: Duration,
-    /// Fastest observed sample (per iteration).
-    pub min: Duration,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Fastest observed sample (nanoseconds per iteration).
+    pub min_ns: u64,
     /// Total iterations measured.
     pub iters: u64,
 }
@@ -47,8 +56,9 @@ impl Bench {
     pub fn new(group: &str) -> Self {
         Bench {
             group: group.to_string(),
-            warmup: Duration::from_millis(500),
-            measure: Duration::from_millis(1500),
+            warmup_ns: 500 * NANOS_PER_MILLI,
+            measure_ns: 1500 * NANOS_PER_MILLI,
+            clock: MonotonicClock::new(),
             metrics: Metrics::new(),
         }
     }
@@ -71,45 +81,24 @@ impl Bench {
 
     /// Overrides the warmup duration.
     pub fn warmup_ms(mut self, ms: u64) -> Self {
-        self.warmup = Duration::from_millis(ms);
+        self.warmup_ns = ms.saturating_mul(NANOS_PER_MILLI);
         self
     }
 
     /// Overrides the measurement duration.
     pub fn measure_ms(mut self, ms: u64) -> Self {
-        self.measure = Duration::from_millis(ms);
+        self.measure_ns = ms.saturating_mul(NANOS_PER_MILLI);
         self
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.now_nanos()
     }
 
     /// Times `f`, batching iterations so timer overhead stays negligible,
     /// and prints one report line.
     pub fn run<F: FnMut()>(&mut self, id: &str, mut f: F) -> Stats {
-        // Warmup: run until the warmup budget elapses, estimating the cost
-        // of one iteration as we go.
-        let warm_start = Instant::now();
-        let mut warm_iters = 0u64;
-        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
-            f();
-            warm_iters += 1;
-        }
-        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
-
-        // Aim for ~100 samples; each sample is a batch of iterations.
-        let target_sample = (self.measure / 100).max(Duration::from_micros(10));
-        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
-
-        let mut samples: Vec<Duration> = Vec::new();
-        let mut total_iters = 0u64;
-        let measure_start = Instant::now();
-        while measure_start.elapsed() < self.measure || samples.is_empty() {
-            let t = Instant::now();
-            for _ in 0..batch {
-                f();
-            }
-            samples.push(t.elapsed() / batch as u32);
-            total_iters += batch;
-        }
-        let stats = summarize(&samples, total_iters);
+        let stats = self.sample_batched(&mut f);
         self.report(id, stats, None);
         stats
     }
@@ -121,20 +110,20 @@ impl Bench {
         S: FnMut() -> T,
         F: FnMut(T),
     {
-        let warm_start = Instant::now();
+        let warm_start = self.now();
         let mut warmed = false;
-        while warm_start.elapsed() < self.warmup || !warmed {
+        while self.now() - warm_start < self.warmup_ns || !warmed {
             routine(setup());
             warmed = true;
         }
 
-        let mut samples: Vec<Duration> = Vec::new();
-        let mut elapsed = Duration::ZERO;
-        while elapsed < self.measure || samples.is_empty() {
+        let mut samples: Vec<u64> = Vec::new();
+        let mut elapsed = 0u64;
+        while elapsed < self.measure_ns || samples.is_empty() {
             let input = setup();
-            let t = Instant::now();
+            let t = self.now();
             routine(input);
-            let d = t.elapsed();
+            let d = self.now() - t;
             samples.push(d);
             elapsed += d;
         }
@@ -147,48 +136,56 @@ impl Bench {
     /// Like [`Bench::run`], additionally reporting throughput for `bytes`
     /// processed per iteration.
     pub fn run_throughput<F: FnMut()>(&mut self, id: &str, bytes: u64, mut f: F) -> Stats {
-        let warm_start = Instant::now();
-        let mut warm_iters = 0u64;
-        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
-            f();
-            warm_iters += 1;
-        }
-        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
-        let target_sample = (self.measure / 100).max(Duration::from_micros(10));
-        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
-
-        let mut samples: Vec<Duration> = Vec::new();
-        let mut total_iters = 0u64;
-        let measure_start = Instant::now();
-        while measure_start.elapsed() < self.measure || samples.is_empty() {
-            let t = Instant::now();
-            for _ in 0..batch {
-                f();
-            }
-            samples.push(t.elapsed() / batch as u32);
-            total_iters += batch;
-        }
-        let stats = summarize(&samples, total_iters);
+        let stats = self.sample_batched(&mut f);
         self.report(id, stats, Some(bytes));
         stats
     }
 
+    /// Shared warmup + batch-sizing + sampling loop behind [`Bench::run`]
+    /// and [`Bench::run_throughput`].
+    fn sample_batched<F: FnMut()>(&self, f: &mut F) -> Stats {
+        // Warmup: run until the warmup budget elapses, estimating the cost
+        // of one iteration as we go.
+        let warm_start = self.now();
+        let mut warm_iters = 0u64;
+        while self.now() - warm_start < self.warmup_ns || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter_ns = (self.now() - warm_start) / warm_iters.max(1);
+
+        // Aim for ~100 samples; each sample is a batch of iterations.
+        let target_sample_ns = (self.measure_ns / 100).max(10_000);
+        let batch = (target_sample_ns / per_iter_ns.max(1)).max(1);
+
+        let mut samples: Vec<u64> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = self.now();
+        while self.now() - measure_start < self.measure_ns || samples.is_empty() {
+            let t = self.now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push((self.now() - t) / batch);
+            total_iters += batch;
+        }
+        summarize(&samples, total_iters)
+    }
+
     fn report(&self, id: &str, stats: Stats, bytes: Option<u64>) {
         let key = format!("bench.{}.{}", self.group, id);
-        let mean_ns = u64::try_from(stats.mean.as_nanos()).unwrap_or(u64::MAX);
-        let min_ns = u64::try_from(stats.min.as_nanos()).unwrap_or(u64::MAX);
-        self.metrics.gauge(&format!("{key}.mean_ns"), mean_ns);
-        self.metrics.gauge(&format!("{key}.min_ns"), min_ns);
+        self.metrics.gauge(&format!("{key}.mean_ns"), stats.mean_ns);
+        self.metrics.gauge(&format!("{key}.min_ns"), stats.min_ns);
         self.metrics.count(&format!("{key}.iters"), stats.iters);
         let mut line = format!(
             "{:<40} time: [mean {:>10}  min {:>10}]  ({} iters)",
             format!("{}/{}", self.group, id),
-            fmt_duration(stats.mean),
-            fmt_duration(stats.min),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.min_ns),
             stats.iters
         );
         if let Some(b) = bytes {
-            let secs = stats.mean.as_secs_f64();
+            let secs = stats.mean_ns as f64 / 1e9;
             if secs > 0.0 {
                 let mbps = b as f64 / secs / (1024.0 * 1024.0);
                 line.push_str(&format!("  {mbps:.1} MiB/s"));
@@ -213,15 +210,18 @@ impl Drop for Bench {
     }
 }
 
-fn summarize(samples: &[Duration], iters: u64) -> Stats {
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len().max(1) as u32;
-    let min = samples.iter().min().copied().unwrap_or_default();
-    Stats { mean, min, iters }
+fn summarize(samples: &[u64], iters: u64) -> Stats {
+    let total: u64 = samples.iter().sum();
+    let mean_ns = total / samples.len().max(1) as u64;
+    let min_ns = samples.iter().min().copied().unwrap_or_default();
+    Stats {
+        mean_ns,
+        min_ns,
+        iters,
+    }
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
+fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
     } else if ns < 1_000_000 {
@@ -247,7 +247,7 @@ mod tests {
         });
         assert!(stats.iters > 0);
         assert!(calls >= stats.iters);
-        assert!(stats.min <= stats.mean);
+        assert!(stats.min_ns <= stats.mean_ns);
     }
 
     #[test]
@@ -277,9 +277,9 @@ mod tests {
 
     #[test]
     fn duration_formatting_picks_sensible_units() {
-        assert_eq!(fmt_duration(Duration::from_nanos(123)), "123 ns");
-        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
-        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
-        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_ns(123), "123 ns");
+        assert_eq!(fmt_ns(5_000), "5.00 µs");
+        assert_eq!(fmt_ns(7_000_000), "7.00 ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.00 s");
     }
 }

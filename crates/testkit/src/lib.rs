@@ -9,6 +9,9 @@
 //!   print a reproducible seed and a shrunk counterexample.
 //! * [`bench`] — a monotonic-clock micro-benchmark runner for
 //!   `harness = false` bench targets.
+//! * [`bench_diff`] — a comparator over two bench-JSON documents with a
+//!   noise-aware threshold model; `scripts/ci.sh` uses it (via
+//!   `slicer-cli bench-diff`) as the perf-regression gate.
 //!
 //! ```
 //! slicer_testkit::prop_check!(0x51CE, 64, |g| {
@@ -22,7 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod bench_diff;
 pub mod prop;
 
 pub use bench::{black_box, Bench, Stats};
+pub use bench_diff::{
+    diff, parse_bench_json, BenchDiffError, BenchDoc, DiffConfig, DiffReport, MetricDelta,
+};
 pub use prop::{Gen, PropResult, DEFAULT_CASES};

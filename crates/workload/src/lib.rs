@@ -6,9 +6,20 @@
 //! 16- and 24-bit values over 10K–160K records. This crate reproduces that
 //! setup deterministically (same seed → same dataset) and adds two skewed
 //! distributions for robustness experiments.
+//!
+//! The [`throughput`] module turns the generators into a sustained-load
+//! benchmark: N seeded searchers with a Zipf query mix, runnable against
+//! an in-process [`slicer_core::SlicerSystem`] or a live `slicerd`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod throughput;
+
+pub use throughput::{
+    ingest_into_daemon, run_against_daemon, run_in_process, ThroughputError, ThroughputReport,
+    ThroughputSpec,
+};
 
 use slicer_crypto::codec::{CodecError, Decode, Encode, Reader};
 use slicer_crypto::Rng;

@@ -65,6 +65,38 @@ for f in BENCH_build.json BENCH_search.json; do
 done
 echo "pool determinism OK"
 
+echo "==> bench-diff regression gate (counters vs committed baselines)"
+# The committed BENCH_*.json at the repo root are the performance
+# baselines. Every counter and gauge in them is machine- and
+# thread-invariant (the pool-determinism stage above proves thread
+# invariance), so the gate demands exact agreement on those, while
+# timing metrics (.ns / .iters) stay informational unless a tolerance
+# is supplied. Reuses the single-threaded transcripts generated above.
+for f in BENCH_build.json BENCH_search.json; do
+  if ! ./target/release/slicer-cli bench-diff "$f" "$bench_tmp/t1/$f"; then
+    echo "bench-diff gate FAILED: $f drifted from the committed baseline" >&2
+    echo "  (intentional protocol change? regenerate the baseline with" >&2
+    echo "   cargo run --release -p slicer-bench --bin repro -- \\" >&2
+    echo "     --experiment telemetry --scale 0.01 --queries 2 --csv .)" >&2
+    exit 1
+  fi
+done
+# Negative self-test: the gate has to actually bite. Inject a gas
+# regression into a copy of the candidate and require bench-diff to
+# reject it with a non-zero exit.
+sed 's/"phase.verify.gas": \([0-9]*\)/"phase.verify.gas": 9\1/' \
+  "$bench_tmp/t1/BENCH_search.json" >"$bench_tmp/regressed.json"
+if cmp -s "$bench_tmp/t1/BENCH_search.json" "$bench_tmp/regressed.json"; then
+  echo "bench-diff gate FAILED: regression injection was a no-op" >&2
+  exit 1
+fi
+if ./target/release/slicer-cli bench-diff BENCH_search.json \
+  "$bench_tmp/regressed.json" >/dev/null; then
+  echo "bench-diff gate FAILED: injected regression was not detected" >&2
+  exit 1
+fi
+echo "bench-diff gate OK (clean inputs pass, injected regression fails)"
+
 echo "==> telemetry smoke (protocol_trace phase profile + JSON export)"
 trace_out="$(cargo run -q --release --offline --example protocol_trace)"
 for phase in setup build token search verify settle; do
@@ -205,6 +237,31 @@ grep -q "metrics-check prometheus=ok" <<<"$check_out" || {
 }
 ocli tail 50 | grep -q '"target":"slicerd.boot"' || {
   echo "observability smoke FAILED: boot record missing from tail" >&2
+  exit 1
+}
+
+# Profiling plane: the live Profile RPC must render a well-formed SVG
+# flamegraph and its totals must reconcile with the metrics surface —
+# wall root within the rpc.*.ns histogram sums, gas total exactly equal
+# to the phase.*.gas counters (slicerd never double-counts chain spans).
+prof_out="$(ocli profile --check)" || {
+  echo "observability smoke FAILED: profile --check rejected the profile plane" >&2
+  echo "$prof_out" >&2
+  exit 1
+}
+for marker in "profile-check svg=ok" "profile-check wall=ok" "profile-check gas=ok"; do
+  grep -q "$marker" <<<"$prof_out" || {
+    echo "observability smoke FAILED: missing '$marker' in profile --check" >&2
+    echo "$prof_out" >&2
+    exit 1
+  }
+done
+ocli profile --svg | grep -q "</svg>" || {
+  echo "observability smoke FAILED: profile --svg did not render a document" >&2
+  exit 1
+}
+ocli profile --gas | grep -q "daemon.request" || {
+  echo "observability smoke FAILED: gas profile missing the request root" >&2
   exit 1
 }
 
